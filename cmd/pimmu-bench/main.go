@@ -1,0 +1,65 @@
+// Command pimmu-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pimmu-bench [-full] <experiment>|all|list
+//
+// Experiments: table1 fig4 fig6 fig8 fig13a fig13b fig14 fig15a fig15b
+// fig16 area headline. Quick sizes are the default; -full uses the
+// paper's sizes (slow: the 256 MB sweeps simulate hundreds of millions
+// of DRAM commands).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's full experiment sizes")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	sc := harness.Quick
+	if *full {
+		sc = harness.Full
+	}
+	name := flag.Arg(0)
+	switch name {
+	case "list":
+		for _, e := range harness.All() {
+			fmt.Printf("  %-9s %s\n", e.Name, e.Brief)
+		}
+		return
+	case "all":
+		for _, e := range harness.All() {
+			runOne(e, sc)
+		}
+		return
+	}
+	e, ok := harness.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pimmu-bench: unknown experiment %q (try 'list')\n", name)
+		os.Exit(2)
+	}
+	runOne(e, sc)
+}
+
+func runOne(e harness.Experiment, sc harness.Scale) {
+	fmt.Printf("==== %s — %s (%s mode) ====\n", e.Name, e.Brief, sc)
+	start := time.Now()
+	e.Run(os.Stdout, sc)
+	fmt.Printf("---- %s done in %v ----\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] <experiment>|all|list\n")
+	flag.PrintDefaults()
+}

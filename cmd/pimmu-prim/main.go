@@ -1,0 +1,57 @@
+// Command pimmu-prim runs one PrIM workload end to end (input transfer,
+// DPU kernel, output transfer) on the baseline and on PIM-MMU, printing
+// the Fig. 16-style breakdown. It also runs the workload's functional
+// verification (DPU-partitioned kernel vs host reference).
+//
+// Usage:
+//
+//	pimmu-prim [-scale F] [-list] <workload>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prim"
+	"repro/internal/system"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0/64, "problem-size scale factor (1.0 = paper size)")
+	list := flag.Bool("list", false, "list workloads")
+	flag.Parse()
+
+	if *list {
+		for _, w := range prim.Suite() {
+			fmt.Printf("  %-9s in %4d KiB/core, out %4d KiB/core, baseline transfer share %.0f%%\n",
+				w.Name, w.InBytesPerCore>>10, w.OutBytesPerCore>>10,
+				100*w.BaselineTransferFraction)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pimmu-prim [-scale F] [-list] <workload>")
+		os.Exit(2)
+	}
+	w, ok := prim.ByName(flag.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pimmu-prim: unknown workload %q (try -list)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	fmt.Printf("verifying %s DPU kernel against host reference... ", w.Name)
+	if err := w.Verify(64, 0xBEEF); err != nil {
+		fmt.Println("FAILED")
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+
+	for _, d := range []system.Design{system.Base, system.PIMMMU} {
+		s := system.MustNew(system.DefaultConfig(d))
+		ph := prim.RunEndToEnd(s, w, *scale)
+		fmt.Printf("%-12v in %10v | kernel %10v | out %10v | total %10v (transfer %4.1f%%)\n",
+			d, ph.In, ph.Kernel, ph.Out, ph.Total(), 100*ph.TransferFraction())
+	}
+}

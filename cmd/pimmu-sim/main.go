@@ -1,0 +1,71 @@
+// Command pimmu-sim runs a single DRAM<->PIM transfer on a chosen design
+// point and prints throughput, memory-system statistics, and energy.
+//
+// Usage:
+//
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu] [-mb N] [-dir to|from]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/system"
+)
+
+func main() {
+	designFlag := flag.String("design", "pim-mmu", "design point: base, base+d, base+d+h, pim-mmu")
+	mb := flag.Uint64("mb", 16, "total transfer size in MiB")
+	dirFlag := flag.String("dir", "to", "direction: to (DRAM->PIM) or from (PIM->DRAM)")
+	flag.Parse()
+
+	var design system.Design
+	switch *designFlag {
+	case "base":
+		design = system.Base
+	case "base+d":
+		design = system.BaseD
+	case "base+d+h":
+		design = system.BaseDH
+	case "pim-mmu":
+		design = system.PIMMMU
+	default:
+		fmt.Fprintf(os.Stderr, "pimmu-sim: unknown design %q\n", *designFlag)
+		os.Exit(2)
+	}
+	dir := core.DRAMToPIM
+	if *dirFlag == "from" {
+		dir = core.PIMToDRAM
+	} else if *dirFlag != "to" {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: unknown direction %q\n", *dirFlag)
+		os.Exit(2)
+	}
+
+	s := system.MustNew(system.DefaultConfig(design))
+	per := (*mb << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	if per < 64 {
+		per = 64
+	}
+	before := s.Activity()
+	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
+	b := s.EnergyOver(before, s.Activity())
+
+	fmt.Printf("design      %v\n", design)
+	fmt.Printf("direction   %v\n", dir)
+	fmt.Printf("bytes       %d (%d MiB)\n", res.Bytes, res.Bytes>>20)
+	fmt.Printf("duration    %v\n", res.Duration)
+	fmt.Printf("throughput  %.2f GB/s\n", res.Throughput()/1e9)
+	fmt.Printf("energy      %.4f J (%.0f%% static)\n", b.Total(), 100*b.Static()/b.Total())
+	fmt.Printf("efficiency  %.1f MB/J\n", energy.EfficiencyBytesPerJoule(res.Bytes, b)/1e6)
+
+	ds, ps := s.Mem.DRAM.Stats(), s.Mem.PIM.Stats()
+	fmt.Printf("DRAM        rd %d MiB, wr %d MiB\n", ds.BytesRead()>>20, ds.BytesWritten()>>20)
+	fmt.Printf("PIM         rd %d MiB, wr %d MiB\n", ps.BytesRead()>>20, ps.BytesWritten()>>20)
+	for i, c := range ps.Channels {
+		fmt.Printf("  pim ch%d   wr %6d KiB  row hits %.1f%%\n",
+			i, c.BytesWritten>>10, 100*c.RowHitRate())
+	}
+}

@@ -1,0 +1,107 @@
+// Command pimmu-trace records the DDR4 command stream of a transfer and
+// prints it (head and tail) together with per-command-type counts and a
+// protocol-check verdict. Useful for inspecting exactly what PIM-MS
+// issues to each channel versus the baseline.
+//
+// Usage:
+//
+//	pimmu-trace [-design base|pim-mmu] [-kb N] [-channel N] [-n N] [-side pim|dram]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/system"
+)
+
+type recorder struct {
+	events []dram.CmdEvent
+	counts map[dram.Cmd]int
+}
+
+func (r *recorder) Command(_ int, e dram.CmdEvent) {
+	r.events = append(r.events, e)
+	r.counts[e.Cmd]++
+}
+
+func main() {
+	designFlag := flag.String("design", "pim-mmu", "design point: base or pim-mmu")
+	kb := flag.Uint64("kb", 256, "total transfer size in KiB")
+	channel := flag.Int("channel", 0, "channel to trace")
+	n := flag.Int("n", 24, "commands to print from head and tail")
+	side := flag.String("side", "pim", "device set to trace: pim or dram")
+	flag.Parse()
+
+	design := system.PIMMMU
+	if *designFlag == "base" {
+		design = system.Base
+	} else if *designFlag != "pim-mmu" {
+		fmt.Fprintf(os.Stderr, "pimmu-trace: unknown design %q\n", *designFlag)
+		os.Exit(2)
+	}
+
+	cfg := system.DefaultConfig(design)
+	s := system.MustNew(cfg)
+	set := s.Mem.PIM
+	setCfg := cfg.Mem.PIM
+	if *side == "dram" {
+		set = s.Mem.DRAM
+		setCfg = cfg.Mem.DRAM
+	} else if *side != "pim" {
+		fmt.Fprintf(os.Stderr, "pimmu-trace: unknown side %q\n", *side)
+		os.Exit(2)
+	}
+	if *channel < 0 || *channel >= setCfg.Geometry.Channels {
+		fmt.Fprintf(os.Stderr, "pimmu-trace: channel %d out of range\n", *channel)
+		os.Exit(2)
+	}
+
+	rec := &recorder{counts: map[dram.Cmd]int{}}
+	chk := dram.NewChecker(setCfg)
+	set.Channel(*channel).Observe(multi{rec, chk})
+
+	per := (*kb << 10) / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	if per < 64 {
+		per = 64
+	}
+	res := s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per))
+
+	fmt.Printf("design %v, %v, %d KiB total, %.2f GB/s\n",
+		design, core.DRAMToPIM, res.Bytes>>10, res.Throughput()/1e9)
+	fmt.Printf("%s channel %d: %d commands  ACT=%d PRE=%d RD=%d WR=%d REF=%d\n",
+		*side, *channel, len(rec.events),
+		rec.counts[dram.CmdACT], rec.counts[dram.CmdPRE],
+		rec.counts[dram.CmdRD], rec.counts[dram.CmdWR], rec.counts[dram.CmdREF])
+	if v := chk.Violations(); len(v) > 0 {
+		fmt.Printf("PROTOCOL VIOLATIONS: %d (first: %s)\n", len(v), v[0])
+	} else {
+		fmt.Println("protocol check: clean")
+	}
+
+	head := *n
+	if head > len(rec.events) {
+		head = len(rec.events)
+	}
+	fmt.Println("-- head --")
+	for _, e := range rec.events[:head] {
+		fmt.Println(" ", e)
+	}
+	if len(rec.events) > 2**n {
+		fmt.Println("  ...")
+		fmt.Println("-- tail --")
+		for _, e := range rec.events[len(rec.events)-*n:] {
+			fmt.Println(" ", e)
+		}
+	}
+}
+
+type multi [2]dram.Observer
+
+func (m multi) Command(ch int, e dram.CmdEvent) {
+	m[0].Command(ch, e)
+	m[1].Command(ch, e)
+}

@@ -1,0 +1,40 @@
+// Ablation sweeps the paper's four design points (Base, Base+D,
+// Base+D+H, Base+D+H+P) over increasing transfer sizes and prints
+// throughput and energy efficiency — a compact Fig. 15 on the public API.
+package main
+
+import (
+	"fmt"
+
+	pimmmu "repro"
+)
+
+func main() {
+	designs := []pimmmu.Design{pimmmu.Base, pimmmu.BaseD, pimmmu.BaseDH, pimmmu.PIMMMU}
+	sizes := []uint64{1 << 20, 4 << 20, 16 << 20} // total bytes
+
+	fmt.Printf("%-12s", "size")
+	for _, d := range designs {
+		fmt.Printf("  %14s", d)
+	}
+	fmt.Println("  (GB/s | MB/J)")
+
+	for _, total := range sizes {
+		fmt.Printf("%-12s", fmt.Sprintf("%d MiB", total>>20))
+		for _, d := range designs {
+			sys := pimmmu.MustNew(pimmmu.Default(d))
+			perCore := total / uint64(sys.NumCores()) &^ 63
+			if perCore < 64 {
+				perCore = 64
+			}
+			buf := sys.Malloc(sys.NumCores() * int(perCore))
+			res, err := sys.ToPIM(buf, sys.AllCores(), perCore, 0)
+			if err != nil {
+				panic(err)
+			}
+			e := sys.Energy(res.Bytes)
+			fmt.Printf("  %6.2f | %5.0f", res.GBps(), e.BytesPerJoule/1e6)
+		}
+		fmt.Println()
+	}
+}

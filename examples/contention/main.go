@@ -1,0 +1,65 @@
+// Contention reproduces the spirit of Fig. 13 on the public API: transfer
+// latency for the baseline and the PIM-MMU while compute-bound and
+// memory-bound contenders share the machine.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	pimmmu "repro"
+)
+
+const perCore = 8 << 10
+
+func transferLatency(design pimmmu.Design, setup func(*pimmmu.System) func()) time.Duration {
+	sys := pimmmu.MustNew(pimmmu.Default(design))
+	stop := setup(sys)
+	buf := sys.Malloc(sys.NumCores() * perCore)
+	res, err := sys.ToPIM(buf, sys.AllCores(), perCore, 0)
+	if err != nil {
+		panic(err)
+	}
+	if stop != nil {
+		stop()
+	}
+	return res.Duration
+}
+
+func main() {
+	none := func(*pimmmu.System) func() { return nil }
+
+	fmt.Println("-- compute-bound contenders (Fig. 13a) --")
+	baseIdle := transferLatency(pimmmu.Base, none)
+	mmuIdle := transferLatency(pimmmu.PIMMMU, none)
+	fmt.Printf("%-10s %12s %12s\n", "spinners", "Base", "PIM-MMU")
+	for _, n := range []int{0, 8, 16, 24} {
+		n := n
+		setup := func(s *pimmmu.System) func() { return s.CompeteCompute(n) }
+		if n == 0 {
+			setup = none
+		}
+		b := transferLatency(pimmmu.Base, setup)
+		m := transferLatency(pimmmu.PIMMMU, setup)
+		fmt.Printf("%-10d %11.2fx %11.2fx\n", n,
+			float64(b)/float64(baseIdle), float64(m)/float64(mmuIdle))
+	}
+
+	fmt.Println("-- memory-bound contenders (Fig. 13b) --")
+	fmt.Printf("%-10s %12s %12s\n", "intensity", "Base", "PIM-MMU")
+	for _, level := range []string{pimmmu.IntensityLow, pimmmu.IntensityMedium,
+		pimmmu.IntensityHigh, pimmmu.IntensityVeryHigh} {
+		level := level
+		setup := func(s *pimmmu.System) func() {
+			stop, err := s.CompeteMemory(4, level)
+			if err != nil {
+				panic(err)
+			}
+			return stop
+		}
+		b := transferLatency(pimmmu.Base, setup)
+		m := transferLatency(pimmmu.PIMMMU, setup)
+		fmt.Printf("%-10s %11.2fx %11.2fx\n", level,
+			float64(b)/float64(baseIdle), float64(m)/float64(mmuIdle))
+	}
+}

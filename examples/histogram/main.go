@@ -1,0 +1,98 @@
+// Histogram runs PrIM's HST workload through the staged
+// dpu_prepare_xfer/dpu_push_xfer-style API on a *subset* of PIM cores:
+// the input is scattered to half the cores, each core builds a private
+// histogram in its MRAM, the partials come back and the host merges them
+// — verified against a direct host computation.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	pimmmu "repro"
+)
+
+const (
+	bins         = 256
+	elemsPerCore = 16 << 10 // uint32 samples per core
+	perCore      = elemsPerCore * 4
+	histBytes    = bins * 8
+)
+
+func run(design pimmmu.Design) {
+	sys := pimmmu.MustNew(pimmmu.Default(design))
+	cores := sys.AllCores()[:sys.NumCores()/2] // half the device
+
+	// Host input: deterministic pseudo-random samples.
+	in := sys.Malloc(len(cores) * perCore)
+	x := uint64(0x12345)
+	for i := 0; i < len(in.Data)/4; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		binary.LittleEndian.PutUint32(in.Data[i*4:], uint32(x>>33))
+	}
+
+	// Stage and push the input (Fig. 10a pattern).
+	xb := sys.PrepareXfer()
+	for i, c := range cores {
+		xb.Bind(c, in, uint64(i)*perCore)
+	}
+	rIn, err := xb.PushToPIM(perCore, 0)
+	must(err)
+
+	// "DPU kernel": each core histograms its slice into MRAM after the
+	// input region.
+	for _, c := range cores {
+		data := sys.MRAM(c, 0, perCore)
+		var h [bins]uint64
+		for i := 0; i < elemsPerCore; i++ {
+			h[binary.LittleEndian.Uint32(data[i*4:])%bins]++
+		}
+		out := make([]byte, histBytes)
+		for b, v := range h {
+			binary.LittleEndian.PutUint64(out[b*8:], v)
+		}
+		sys.WriteMRAM(c, perCore, out)
+	}
+	kernel := sys.RunKernel(int64(elemsPerCore) * 10) // ~10 cycles/element
+
+	// Pull the partial histograms and merge.
+	parts := sys.Malloc(len(cores) * histBytes)
+	yb := sys.PrepareXfer()
+	for i, c := range cores {
+		yb.Bind(c, parts, uint64(i)*histBytes)
+	}
+	rOut, err := yb.PushFromPIM(histBytes, perCore)
+	must(err)
+
+	var merged [bins]uint64
+	for i := range cores {
+		for b := 0; b < bins; b++ {
+			merged[b] += binary.LittleEndian.Uint64(parts.Data[i*histBytes+b*8:])
+		}
+	}
+
+	// Verify against the host.
+	var want [bins]uint64
+	for i := 0; i < len(in.Data)/4; i++ {
+		want[binary.LittleEndian.Uint32(in.Data[i*4:])%bins]++
+	}
+	if merged != want {
+		panic("histogram mismatch")
+	}
+
+	total := rIn.Duration + kernel + rOut.Duration
+	fmt.Printf("%-12s  %d cores  in %8v | kernel %8v | out %8v | total %8v  (verified)\n",
+		design, len(cores), rIn.Duration, kernel, rOut.Duration, total)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	fmt.Printf("HST on half the device, %d bins, %d samples/core\n", bins, elemsPerCore)
+	run(pimmmu.Base)
+	run(pimmmu.PIMMMU)
+}

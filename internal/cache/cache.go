@@ -1,0 +1,178 @@
+// Package cache implements the shared last-level cache of the host
+// processor (Table I: 8 MB, 16-way, 64 B lines, LRU). The cache is a pure
+// state machine — lookup, allocation, eviction — with no notion of time;
+// the memory-system router charges latencies around it.
+//
+// PIM-space requests never enter the cache: the PIM address range is
+// non-cacheable in real systems (the host must observe DPU-written data,
+// and DPUs must observe host-written data, without coherence hardware).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config sizes the cache.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+}
+
+// DefaultConfig is the Table I LLC: 8 MB shared, 16-way.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 8 << 20, Ways: 16}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive size or ways")
+	}
+	lines := c.SizeBytes / mem.LineBytes
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: %d sets is not a power of two", sets)
+	}
+	return nil
+}
+
+type way struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	used  uint64 // LRU timestamp
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// HitRate is hits / (hits+misses).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a cache; it panics on invalid configuration (static).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / mem.LineBytes / cfg.Ways
+	c := &Cache{cfg: cfg, setMask: uint64(nSets - 1)}
+	c.sets = make([][]way, nSets)
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c
+}
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	line := addr / mem.LineBytes
+	return line & c.setMask, line >> uint(popcount(c.setMask))
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// Result describes the outcome of an access.
+type Result struct {
+	Hit bool
+	// Writeback holds the line address of an evicted dirty line that must
+	// be written to memory; valid only when HasWriteback.
+	Writeback    uint64
+	HasWriteback bool
+}
+
+// Access performs a read or write lookup with write-allocate semantics:
+// a miss allocates the line (the caller is responsible for fetching it
+// from memory) and may evict a dirty victim.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	set, tag := c.index(addr)
+	c.clock++
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			ws[i].used = c.clock
+			if write {
+				ws[i].dirty = true
+			}
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	for i := range ws {
+		if !ws[i].valid {
+			victim = i
+			goto fill
+		}
+		if ws[i].used < ws[victim].used {
+			victim = i
+		}
+	}
+fill:
+	res := Result{}
+	if ws[victim].valid {
+		c.stats.Evictions++
+		if ws[victim].dirty {
+			c.stats.Writebacks++
+			res.HasWriteback = true
+			res.Writeback = c.victimAddr(set, ws[victim].tag)
+		}
+	}
+	ws[victim] = way{valid: true, dirty: write, tag: tag, used: c.clock}
+	return res
+}
+
+// Contains reports whether the line holding addr is cached, without
+// touching LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// victimAddr reconstructs a line address from (set, tag).
+func (c *Cache) victimAddr(set, tag uint64) uint64 {
+	return (tag<<uint(popcount(c.setMask)) | set) * mem.LineBytes
+}

@@ -1,0 +1,517 @@
+// Package core implements the paper's primary contribution: the PIM-MMU —
+// a Data Copy Engine (DCE) with an integrated PIM-aware Memory Scheduler
+// (PIM-MS) and the software stack (runtime library + device driver model)
+// that offloads DRAM<->PIM transfers to it (Section IV).
+//
+// The DCE (Fig. 9, Fig. 11) contains:
+//   - an address buffer (64 KB SRAM) holding per-PIM-core transfer
+//     descriptors: source base, destination core ID, and an offset counter;
+//   - a data buffer (16 KB SRAM) staging lines between the read and write
+//     halves of a copy;
+//   - an Address Generation Unit (AGU) that walks descriptor offsets and
+//     coordinates physical->DRAM translation with the memory controller;
+//   - a preprocessing unit that transposes data on the fly (Fig. 3),
+//     gathering the lanes of each PIM bank into whole 64-byte bursts;
+//   - PIM-MS, which picks the issue order (internal/pimms, Algorithm 1).
+//
+// A transfer is modelled as two coupled line streams: the DRAM side (one
+// sequential stream per PIM core's source/destination array) and the PIM
+// side (one sequential stream per PIM *bank* — the lanes of a bank share
+// every 64-byte burst, so the bank is the unit of PIM-side streaming).
+// The data buffer couples them: reads may run ahead of writes by at most
+// the buffer capacity, writes may never run ahead of the preprocessed
+// read data.
+//
+// With PIM-MS disabled the engine degrades into a conventional DMA engine
+// (Intel I/OAT / DSA class): descriptors processed strictly in order with
+// a small in-flight window — the ablation's "Base+D" design point, which
+// the paper shows can be slower than the software baseline.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/pim"
+	"repro/internal/pimms"
+	"repro/internal/sim"
+	"repro/internal/transpose"
+)
+
+// SrcID tags all DCE-issued requests in per-source byte accounting.
+const SrcID = 1 << 20
+
+// Direction of a transfer.
+type Direction int
+
+const (
+	// DRAMToPIM copies input data into PIM cores' MRAM.
+	DRAMToPIM Direction = iota
+	// PIMToDRAM copies results back to DRAM.
+	PIMToDRAM
+)
+
+func (d Direction) String() string {
+	if d == PIMToDRAM {
+		return "PIM->DRAM"
+	}
+	return "DRAM->PIM"
+}
+
+// Config parameterizes the PIM-MMU (Table I: 3.2 GHz DCE, 16 KB data
+// buffer, 64 KB address buffer).
+type Config struct {
+	Clock clock.Hz
+	// DataBufBytes is the staging SRAM between the read and write halves;
+	// it bounds how far reads may run ahead of writes.
+	DataBufBytes int
+	// AddrBufBytes holds transfer descriptors; transfers with more
+	// descriptors than fit are processed in address-buffer-sized batches.
+	AddrBufBytes int
+	// AddrEntryBytes is the SRAM cost of one descriptor (base address,
+	// PIM core ID and offset counter, Fig. 11).
+	AddrEntryBytes int
+	// UsePIMMS enables the PIM-aware Memory Scheduler. Disabled, the DCE
+	// behaves like a conventional DMA engine (sequential descriptors,
+	// DMAWindow in-flight lines).
+	UsePIMMS bool
+	// DMAWindow is the in-flight line cap without PIM-MS: a conventional
+	// DMA engine processes descriptors near-synchronously, giving it far
+	// less memory-level parallelism than the baseline's eight OOO cores —
+	// which is why "Base+D" can lose to plain software (Fig. 15).
+	DMAWindow int
+	// ChannelRRWithoutPIMMS, when set (and UsePIMMS is off), walks
+	// descriptors channel round-robin instead of strictly sequentially —
+	// the intermediate issue order of the DESIGN.md ablation, isolating
+	// channel-level parallelism from Algorithm 1's bank interleave.
+	ChannelRRWithoutPIMMS bool
+	// Preproc models the hardware transpose unit.
+	Preproc transpose.HWUnit
+	// DriverLaunch is the software cost to invoke pim_mmu_transfer: the
+	// runtime marshals the descriptor arrays and the driver writes them to
+	// the DCE's MMIO BAR, then puts the calling process to sleep.
+	DriverLaunch clock.Picos
+	// DriverInterrupt is the completion path: DCE interrupt, driver wakes
+	// the process.
+	DriverInterrupt clock.Picos
+	// BatchReload is the cost of refilling the address buffer for each
+	// additional descriptor batch.
+	BatchReload clock.Picos
+}
+
+// DefaultConfig matches Table I.
+func DefaultConfig() Config {
+	return Config{
+		Clock:           3200 * clock.MHz,
+		DataBufBytes:    16 << 10,
+		AddrBufBytes:    64 << 10,
+		AddrEntryBytes:  16,
+		UsePIMMS:        true,
+		DMAWindow:       4,
+		Preproc:         transpose.DefaultHWUnit(),
+		DriverLaunch:    3 * clock.Microsecond,
+		DriverInterrupt: 2 * clock.Microsecond,
+		BatchReload:     clock.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Clock <= 0 || c.DataBufBytes < mem.LineBytes || c.AddrBufBytes < c.AddrEntryBytes ||
+		c.AddrEntryBytes <= 0 || c.DMAWindow <= 0 {
+		return fmt.Errorf("core: invalid DCE config: %+v", c)
+	}
+	return nil
+}
+
+// Op describes one offloaded transfer — the pim_mmu_op struct of
+// Fig. 10(b): a direction, a per-core size, the PIM heap offset, and the
+// per-core DRAM-side array addresses.
+type Op struct {
+	Dir Direction
+	// BytesPerCore is XFER_PER_BANK in bytes (uniform across cores, as in
+	// dpu_push_xfer); must be a multiple of 64.
+	BytesPerCore uint64
+	// MRAMOffset is the destination/source offset inside each core's MRAM
+	// (DPU_MRAM_HEAP_POINTER_NAME + offset); must be line-group aligned
+	// (a multiple of 64 covers every lane configuration).
+	MRAMOffset uint64
+	// Cores lists the participating PIM core IDs (dest_pim_id_arr).
+	Cores []int
+	// DRAMAddrs is the DRAM-side base address per core (src_arr); parallel
+	// to Cores.
+	DRAMAddrs []uint64
+}
+
+// Bytes sums the op's transfer size.
+func (o Op) Bytes() uint64 { return o.BytesPerCore * uint64(len(o.Cores)) }
+
+// Validate reports malformed ops.
+func (o Op) Validate(g pim.Geometry) error {
+	if len(o.Cores) == 0 {
+		return fmt.Errorf("core: op with no cores")
+	}
+	if len(o.Cores) != len(o.DRAMAddrs) {
+		return fmt.Errorf("core: %d cores but %d DRAM addresses", len(o.Cores), len(o.DRAMAddrs))
+	}
+	if o.BytesPerCore == 0 || o.BytesPerCore%mem.LineBytes != 0 {
+		return fmt.Errorf("core: BytesPerCore=%d not a positive multiple of %d", o.BytesPerCore, mem.LineBytes)
+	}
+	if o.MRAMOffset%mem.LineBytes != 0 {
+		return fmt.Errorf("core: MRAMOffset=0x%x not line aligned", o.MRAMOffset)
+	}
+	seen := make(map[int]bool, len(o.Cores))
+	for i, c := range o.Cores {
+		if c < 0 || c >= g.NumCores() {
+			return fmt.Errorf("core: core ID %d out of range", c)
+		}
+		if seen[c] {
+			return fmt.Errorf("core: duplicate core %d in op", c)
+		}
+		seen[c] = true
+		if o.DRAMAddrs[i]%mem.LineBytes != 0 {
+			return fmt.Errorf("core: DRAM address 0x%x not line aligned", o.DRAMAddrs[i])
+		}
+		if o.MRAMOffset+o.BytesPerCore > g.MRAMBytes() {
+			return fmt.Errorf("core: transfer exceeds MRAM capacity")
+		}
+	}
+	return nil
+}
+
+// Result reports a completed transfer.
+type Result struct {
+	Dir   Direction
+	Start clock.Picos // transfer offload began (before driver launch)
+	End   clock.Picos // interrupt delivered
+	Bytes uint64
+}
+
+// Duration is the wall-clock transfer time including driver overheads.
+func (r Result) Duration() clock.Picos { return r.End - r.Start }
+
+// Throughput is bytes per second.
+func (r Result) Throughput() float64 {
+	d := r.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / d.Seconds()
+}
+
+// Engine is the DCE hardware model.
+type Engine struct {
+	eng  *sim.Engine
+	sys  *memsys.System
+	geom pim.Geometry
+	cfg  Config
+	dom  clock.Domain
+
+	busy bool
+
+	// TransfersDone and BytesMoved accumulate across transfers.
+	TransfersDone uint64
+	BytesMoved    uint64
+}
+
+// New builds a DCE attached to a memory system.
+func New(eng *sim.Engine, sys *memsys.System, geom pim.Geometry, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, sys: sys, geom: geom, cfg: cfg, dom: clock.NewDomain(cfg.Clock)}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(eng *sim.Engine, sys *memsys.System, geom pim.Geometry, cfg Config) *Engine {
+	e, err := New(eng, sys, geom, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Config reports the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Geometry reports the attached PIM geometry.
+func (e *Engine) Geometry() pim.Geometry { return e.geom }
+
+// Busy reports whether a transfer is in flight.
+func (e *Engine) Busy() bool { return e.busy }
+
+// Transfer offloads op to the DCE. onDone runs when the completion
+// interrupt is delivered. The engine serializes transfers; calling
+// Transfer while busy is a programming error in the (single-threaded)
+// runtime and panics, as does an invalid op.
+func (e *Engine) Transfer(op Op, onDone func(Result)) {
+	if e.busy {
+		panic("core: DCE transfer while busy")
+	}
+	if err := op.Validate(e.geom); err != nil {
+		panic(err)
+	}
+	e.busy = true
+	batchCap := e.cfg.AddrBufBytes / e.cfg.AddrEntryBytes
+	start := e.eng.Now()
+	e.eng.At(start+e.cfg.DriverLaunch, func() {
+		e.runBatches(op, 0, batchCap, start, onDone)
+	})
+}
+
+// runBatches processes descriptor batches sequentially, batchCap cores at
+// a time.
+func (e *Engine) runBatches(op Op, from, batchCap int, start clock.Picos, onDone func(Result)) {
+	if from >= len(op.Cores) {
+		end := e.eng.Now() + e.cfg.DriverInterrupt
+		e.eng.At(end, func() {
+			e.busy = false
+			e.TransfersDone++
+			e.BytesMoved += op.Bytes()
+			onDone(Result{Dir: op.Dir, Start: start, End: end, Bytes: op.Bytes()})
+		})
+		return
+	}
+	to := from + batchCap
+	if to > len(op.Cores) {
+		to = len(op.Cores)
+	}
+	e.runBatch(op, from, to, func() {
+		if to < len(op.Cores) {
+			e.eng.After(e.cfg.BatchReload, func() {
+				e.runBatches(op, to, batchCap, start, onDone)
+			})
+			return
+		}
+		e.runBatches(op, len(op.Cores), batchCap, start, onDone)
+	})
+}
+
+// streams derives the two stream sets for cores[from:to]: the DRAM-side
+// per-core streams and the PIM-side per-bank streams.
+func (e *Engine) streams(op Op, from, to int) (coreSide, bankSide []pimms.Stream) {
+	type bankAgg struct {
+		core  int // representative (lowest-lane) core
+		bytes uint64
+	}
+	banks := map[int]*bankAgg{}
+	for i := from; i < to; i++ {
+		c := op.Cores[i]
+		coreSide = append(coreSide, pimms.Stream{
+			Core: c, Base: op.DRAMAddrs[i], Bytes: op.BytesPerCore,
+		})
+		bl := e.geom.BankLinear(c)
+		a := banks[bl]
+		if a == nil {
+			a = &bankAgg{core: c}
+			banks[bl] = a
+		}
+		if e.geom.Loc(c).Lane < e.geom.Loc(a.core).Lane {
+			a.core = c
+		}
+		a.bytes += op.BytesPerCore
+	}
+	ids := make([]int, 0, len(banks))
+	for bl := range banks {
+		ids = append(ids, bl)
+	}
+	sort.Ints(ids)
+	for _, bl := range ids {
+		a := banks[bl]
+		// Round partial-lane banks up to whole lines: the hardware writes
+		// full bursts regardless of how many lanes carry live data.
+		bytes := (a.bytes + mem.LineBytes - 1) &^ uint64(mem.LineBytes-1)
+		bankSide = append(bankSide, pimms.Stream{
+			Core:  a.core,
+			Base:  e.geom.BankLineAddr(a.core, op.MRAMOffset),
+			Bytes: bytes,
+		})
+	}
+	return coreSide, bankSide
+}
+
+// DRAMChunkLines is how many consecutive lines the AGU walks within one
+// DRAM-side descriptor before rotating to the next (4 KB). Under the
+// MLP-centric mapping a sequential 4 KB chunk already spreads across all
+// channels and bank groups, so chunking costs no parallelism while
+// keeping the row buffer hot; the PIM side instead needs Algorithm 1's
+// line-granular bank rotation because its locality-centric mapping has no
+// in-chunk spreading to offer.
+const DRAMChunkLines = 64
+
+// runBatch executes one address-buffer-resident batch to completion.
+func (e *Engine) runBatch(op Op, from, to int, done func()) {
+	coreSide, bankSide := e.streams(op, from, to)
+	readStreams, writeStreams := coreSide, bankSide
+	if op.Dir == PIMToDRAM {
+		readStreams, writeStreams = bankSide, coreSide
+	}
+	build := func(streams []pimms.Stream, pimSide bool) []pimms.Iterator {
+		if !e.cfg.UsePIMMS {
+			if e.cfg.ChannelRRWithoutPIMMS {
+				return []pimms.Iterator{pimms.NewChannelRR(e.geom, streams)}
+			}
+			return []pimms.Iterator{pimms.NewSequential(e.geom, streams)}
+		}
+		if !pimSide {
+			return []pimms.Iterator{pimms.NewChunked(e.geom, streams, DRAMChunkLines)}
+		}
+		var its []pimms.Iterator
+		for _, it := range pimms.NewAlgorithm1(e.geom, streams) {
+			if it.Remaining() > 0 {
+				its = append(its, it)
+			}
+		}
+		return its
+	}
+	buf := uint64(e.cfg.DataBufBytes)
+	if !e.cfg.UsePIMMS && buf > uint64(e.cfg.DMAWindow*mem.LineBytes) {
+		buf = uint64(e.cfg.DMAWindow * mem.LineBytes)
+	}
+	b := &batchRun{
+		e:          e,
+		readIts:    build(readStreams, op.Dir == PIMToDRAM),
+		writeIts:   build(writeStreams, op.Dir == DRAMToPIM),
+		totalRead:  pimms.TotalLines(readStreams) * mem.LineBytes,
+		totalWrite: pimms.TotalLines(writeStreams) * mem.LineBytes,
+		bufBytes:   buf,
+		done:       done,
+	}
+	b.pump()
+}
+
+// batchRun is the in-flight state of one batch: the read-side and
+// write-side iterators coupled through the data buffer.
+type batchRun struct {
+	e                  *Engine
+	readIts, writeIts  []pimms.Iterator
+	rrR, rrW           int
+	pendingR, pendingW *pimms.Granule
+
+	readsIssued, readsDone   uint64 // bytes
+	writesIssued, writesDone uint64 // bytes
+	totalRead, totalWrite    uint64
+	bufBytes                 uint64
+
+	readStalled, writeStalled bool
+	done                      func()
+}
+
+func take(its []pimms.Iterator, rr *int, pending **pimms.Granule) (pimms.Granule, bool) {
+	if *pending != nil {
+		g := **pending
+		*pending = nil
+		return g, true
+	}
+	n := len(its)
+	for scanned := 0; scanned < n; scanned++ {
+		it := its[*rr]
+		*rr = (*rr + 1) % n
+		if g, ok := it.Next(); ok {
+			return g, true
+		}
+	}
+	return pimms.Granule{}, false
+}
+
+// pump advances both halves of the pipeline as far as resources allow.
+func (b *batchRun) pump() {
+	// Write side: issue while preprocessed data is available (or reads
+	// have finished and the tail is draining).
+	for !b.writeStalled {
+		if b.writesIssued+mem.LineBytes > b.readsDone && b.readsDone < b.totalRead {
+			break
+		}
+		if b.writesIssued >= b.totalWrite {
+			break
+		}
+		g, ok := take(b.writeIts, &b.rrW, &b.pendingW)
+		if !ok {
+			break
+		}
+		if !b.issueWrite(g) {
+			b.pendingW = &g
+			b.writeStalled = true
+			b.e.sys.WaitSpace(func() {
+				b.writeStalled = false
+				b.pump()
+			})
+			break
+		}
+		b.writesIssued += mem.LineBytes
+	}
+	// Read side: issue while the data buffer has room.
+	for !b.readStalled {
+		if b.readsIssued-b.writesDone+mem.LineBytes > b.bufBytes {
+			break
+		}
+		g, ok := take(b.readIts, &b.rrR, &b.pendingR)
+		if !ok {
+			break
+		}
+		if !b.issueRead(g) {
+			b.pendingR = &g
+			b.readStalled = true
+			b.e.sys.WaitSpace(func() {
+				b.readStalled = false
+				b.pump()
+			})
+			break
+		}
+		b.readsIssued += mem.LineBytes
+	}
+	b.finishIfDrained()
+}
+
+// issueRead sends one read-side line.
+func (b *batchRun) issueRead(g pimms.Granule) bool {
+	req := &mem.Req{
+		Addr:      g.Addr,
+		Kind:      mem.Read,
+		Cacheable: false, // DCE traffic bypasses the LLC in both directions
+		SrcID:     SrcID,
+		OnDone: func(clock.Picos) {
+			// Stream through the preprocessing unit (on-the-fly transpose),
+			// then make the line available to the write side.
+			delay := b.e.dom.Duration(b.e.cfg.Preproc.Cycles(1))
+			b.e.eng.After(delay, func() {
+				b.readsDone += mem.LineBytes
+				b.pump()
+			})
+		},
+	}
+	return b.e.sys.TryEnqueue(req)
+}
+
+// issueWrite sends one write-side line.
+func (b *batchRun) issueWrite(g pimms.Granule) bool {
+	req := &mem.Req{
+		Addr:      g.Addr,
+		Kind:      mem.Write,
+		Cacheable: false,
+		SrcID:     SrcID,
+		OnDone: func(clock.Picos) {
+			b.writesDone += mem.LineBytes
+			b.pump()
+		},
+	}
+	return b.e.sys.TryEnqueue(req)
+}
+
+// finishIfDrained invokes the batch continuation once everything is done.
+func (b *batchRun) finishIfDrained() {
+	if b.writesDone < b.totalWrite || b.readsDone < b.totalRead {
+		return
+	}
+	if b.done != nil {
+		d := b.done
+		b.done = nil
+		d()
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/addrmap"
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/memsys"
+	"repro/internal/pim"
+	"repro/internal/sim"
+)
+
+// rig bundles a small simulated system for DCE tests.
+type rig struct {
+	eng  *sim.Engine
+	sys  *memsys.System
+	geom pim.Geometry
+	dce  *Engine
+}
+
+func newRig(t *testing.T, mapping memsys.MappingMode, dceCfg Config) *rig {
+	t.Helper()
+	g := addrmap.Geometry{Channels: 2, Ranks: 2, BankGroups: 4, Banks: 4, Rows: 512, Cols: 128}
+	mc := memsys.DefaultConfig()
+	mc.DRAM.Geometry = g
+	mc.PIM.Geometry = g
+	mc.LLC = cache.Config{SizeBytes: 256 << 10, Ways: 8}
+	mc.Mapping = mapping
+	eng := sim.New()
+	sys := memsys.MustNew(eng, mc)
+	geom := pim.Geometry{DRAM: g, LanesPerBank: 2} // 128 cores
+	return &rig{eng: eng, sys: sys, geom: geom, dce: MustNew(eng, sys, geom, dceCfg)}
+}
+
+// op builds a transfer of bytesPerCore to each of n cores.
+func (r *rig) op(dir Direction, n int, bytesPerCore uint64) Op {
+	op := Op{Dir: dir, BytesPerCore: bytesPerCore}
+	for i := 0; i < n; i++ {
+		op.Cores = append(op.Cores, i)
+		op.DRAMAddrs = append(op.DRAMAddrs, uint64(i)*bytesPerCore)
+	}
+	return op
+}
+
+func TestTransferCompletesAndCountsBytes(t *testing.T) {
+	r := newRig(t, memsys.MapHetMap, DefaultConfig())
+	op := r.op(DRAMToPIM, 32, 4096)
+	var res Result
+	r.dce.Transfer(op, func(rr Result) { res = rr })
+	r.eng.Run()
+	if res.Bytes != 32*4096 {
+		t.Fatalf("result bytes = %d, want %d", res.Bytes, 32*4096)
+	}
+	if got := r.sys.PIM.Stats().BytesWritten(); got != 32*4096 {
+		t.Errorf("PIM bytes written = %d, want %d", got, 32*4096)
+	}
+	if got := r.sys.DRAM.Stats().BytesRead(); got != 32*4096 {
+		t.Errorf("DRAM bytes read = %d, want %d", got, 32*4096)
+	}
+	if res.Duration() <= r.dce.Config().DriverLaunch {
+		t.Error("duration does not include transfer time")
+	}
+	if r.dce.TransfersDone != 1 || r.dce.BytesMoved != 32*4096 {
+		t.Errorf("engine counters = %d transfers / %d bytes", r.dce.TransfersDone, r.dce.BytesMoved)
+	}
+}
+
+func TestReverseDirection(t *testing.T) {
+	r := newRig(t, memsys.MapHetMap, DefaultConfig())
+	op := r.op(PIMToDRAM, 32, 4096)
+	var res Result
+	r.dce.Transfer(op, func(rr Result) { res = rr })
+	r.eng.Run()
+	if res.Bytes != 32*4096 {
+		t.Fatalf("result bytes = %d", res.Bytes)
+	}
+	if got := r.sys.PIM.Stats().BytesRead(); got != 32*4096 {
+		t.Errorf("PIM bytes read = %d, want %d", got, 32*4096)
+	}
+	if got := r.sys.DRAM.Stats().BytesWritten(); got != 32*4096 {
+		t.Errorf("DRAM bytes written = %d, want %d", got, 32*4096)
+	}
+}
+
+// With PIM-MS and HetMap, the transfer must spread writes over every PIM
+// channel roughly evenly and sustain a large fraction of peak bandwidth.
+func TestPIMMSSpreadsChannelsAndSustainsBandwidth(t *testing.T) {
+	r := newRig(t, memsys.MapHetMap, DefaultConfig())
+	op := r.op(DRAMToPIM, r.geom.NumCores(), 64<<10) // 8 MB total
+	var res Result
+	r.dce.Transfer(op, func(rr Result) { res = rr })
+	r.eng.Run()
+	st := r.sys.PIM.Stats()
+	per := make([]float64, len(st.Channels))
+	for i, c := range st.Channels {
+		per[i] = float64(c.BytesWritten)
+	}
+	for i := 1; i < len(per); i++ {
+		if per[i] < per[0]*0.9 || per[i] > per[0]*1.1 {
+			t.Errorf("channel write imbalance: %v", per)
+			break
+		}
+	}
+	// 2 channels of DDR4-2400 = 38.4 GB/s peak; PIM-MS should exceed 60%.
+	if gbps := res.Throughput() / 1e9; gbps < 0.6*38.4 {
+		t.Errorf("PIM-MS throughput = %.1f GB/s, want > %.1f", gbps, 0.6*38.4)
+	}
+}
+
+// Without PIM-MS (vanilla DMA window) the same transfer must be far
+// slower — the Base+D effect of Fig. 15.
+func TestVanillaDMAIsMuchSlower(t *testing.T) {
+	run := func(usePIMMS bool) float64 {
+		cfg := DefaultConfig()
+		cfg.UsePIMMS = usePIMMS
+		r := newRig(t, memsys.MapHetMap, cfg)
+		op := r.op(DRAMToPIM, r.geom.NumCores(), 16<<10)
+		var res Result
+		r.dce.Transfer(op, func(rr Result) { res = rr })
+		r.eng.Run()
+		return res.Throughput()
+	}
+	with := run(true)
+	without := run(false)
+	if with < 3*without {
+		t.Errorf("PIM-MS speedup = %.2fx (%.1f vs %.1f GB/s), want > 3x",
+			with/without, with/1e9, without/1e9)
+	}
+}
+
+func TestBatchingBeyondAddressBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AddrBufBytes = 32 * cfg.AddrEntryBytes // room for only 32 descriptors
+	r := newRig(t, memsys.MapHetMap, cfg)
+	op := r.op(DRAMToPIM, 128, 1024) // 128 descriptors => 4 batches
+	var res Result
+	r.dce.Transfer(op, func(rr Result) { res = rr })
+	r.eng.Run()
+	if res.Bytes != 128*1024 {
+		t.Fatalf("batched transfer moved %d bytes, want %d", res.Bytes, 128*1024)
+	}
+	if got := r.sys.PIM.Stats().BytesWritten(); got != 128*1024 {
+		t.Errorf("PIM bytes = %d, want %d", got, 128*1024)
+	}
+}
+
+func TestBusyPanics(t *testing.T) {
+	r := newRig(t, memsys.MapHetMap, DefaultConfig())
+	r.dce.Transfer(r.op(DRAMToPIM, 4, 1024), func(Result) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second Transfer while busy did not panic")
+		}
+	}()
+	r.dce.Transfer(r.op(DRAMToPIM, 4, 1024), func(Result) {})
+}
+
+func TestEmptyOpPanics(t *testing.T) {
+	r := newRig(t, memsys.MapHetMap, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("empty op did not panic")
+		}
+	}()
+	r.dce.Transfer(Op{Dir: DRAMToPIM, BytesPerCore: 64}, func(Result) {})
+}
+
+func TestBackToBackTransfers(t *testing.T) {
+	r := newRig(t, memsys.MapHetMap, DefaultConfig())
+	done := 0
+	var run func(i int)
+	run = func(i int) {
+		if i >= 3 {
+			return
+		}
+		r.dce.Transfer(r.op(DRAMToPIM, 16, 2048), func(Result) {
+			done++
+			run(i + 1)
+		})
+	}
+	run(0)
+	r.eng.Run()
+	if done != 3 {
+		t.Errorf("completed %d of 3 back-to-back transfers", done)
+	}
+	if r.dce.Busy() {
+		t.Error("engine still busy after drain")
+	}
+}
+
+func TestDriverOverheadsIncluded(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, memsys.MapHetMap, cfg)
+	var res Result
+	r.dce.Transfer(r.op(DRAMToPIM, 1, 64), func(rr Result) { res = rr })
+	r.eng.Run()
+	min := cfg.DriverLaunch + cfg.DriverInterrupt
+	if res.Duration() < min {
+		t.Errorf("tiny transfer duration %v below driver floor %v", res.Duration(), min)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.DataBufBytes = 0
+	if bad.Validate() == nil {
+		t.Error("DataBufBytes=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.DMAWindow = 0
+	if bad.Validate() == nil {
+		t.Error("DMAWindow=0 accepted")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DRAMToPIM.String() != "DRAM->PIM" || PIMToDRAM.String() != "PIM->DRAM" {
+		t.Error("Direction.String mismatch")
+	}
+}
+
+func TestResultThroughput(t *testing.T) {
+	r := Result{Start: 0, End: clock.Second, Bytes: 1 << 30}
+	if got := r.Throughput(); got != float64(1<<30) {
+		t.Errorf("Throughput = %v, want %v", got, float64(1<<30))
+	}
+	if (Result{}).Throughput() != 0 {
+		t.Error("zero-duration throughput not 0")
+	}
+}
+
+func TestChannelRROrderBetweenSequentialAndPIMMS(t *testing.T) {
+	run := func(usePIMMS, chRR bool) float64 {
+		cfg := DefaultConfig()
+		cfg.UsePIMMS = usePIMMS
+		cfg.ChannelRRWithoutPIMMS = chRR
+		cfg.DMAWindow = cfg.DataBufBytes / 64
+		r := newRig(t, memsys.MapHetMap, cfg)
+		op := r.op(DRAMToPIM, r.geom.NumCores(), 8<<10)
+		var res Result
+		r.dce.Transfer(op, func(x Result) { res = x })
+		r.eng.Run()
+		return res.Throughput()
+	}
+	seq := run(false, false)
+	chrr := run(false, true)
+	alg1 := run(true, false)
+	if !(seq < chrr && chrr < alg1) {
+		t.Errorf("issue-order ordering violated: seq %.1f, chRR %.1f, alg1 %.1f GB/s",
+			seq/1e9, chrr/1e9, alg1/1e9)
+	}
+}

@@ -1,0 +1,431 @@
+// Package cpu models the host processor: multiple cores executing
+// software threads, each thread an abstract instruction stream of compute
+// spans and line-sized memory operations, plus the operating system's
+// round-robin thread scheduler whose coarse quantum is one of the paper's
+// root causes for poor transfer throughput (Section III-B).
+//
+// The core model is deliberately at "memory-system fidelity": it does not
+// simulate individual instructions, but it does model the two resources
+// that determine streaming throughput — the limited number of outstanding
+// cacheable misses (line-fill buffers) and of outstanding non-cacheable
+// stores (write-combining buffers) — so per-thread bandwidth follows
+// Little's law just as on real hardware.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// OpKind classifies thread operations.
+type OpKind int
+
+const (
+	// OpCompute spends a fixed number of core cycles.
+	OpCompute OpKind = iota
+	// OpLoad issues a 64-byte load.
+	OpLoad
+	// OpStore issues a 64-byte store.
+	OpStore
+	// OpBarrier waits until every memory operation this thread issued has
+	// completed.
+	OpBarrier
+)
+
+// Op is one abstract thread operation.
+type Op struct {
+	Kind   OpKind
+	Cycles int64  // OpCompute: cycles to burn
+	Addr   uint64 // OpLoad/OpStore: physical address
+	NC     bool   // OpLoad/OpStore: non-cacheable (PIM space, streaming stores)
+}
+
+// Program is a pull-based instruction stream. Next returns false when the
+// thread has finished.
+type Program interface {
+	Next() (Op, bool)
+}
+
+// ProgramFunc adapts a closure to Program.
+type ProgramFunc func() (Op, bool)
+
+// Next implements Program.
+func (f ProgramFunc) Next() (Op, bool) { return f() }
+
+// Config parameterizes the processor (Table I).
+type Config struct {
+	Cores int
+	Clock clock.Hz
+	// LoadBuffers bounds outstanding cacheable misses per core (line-fill
+	// buffers; the 64 MSHRs of Table I are never the binding constraint).
+	LoadBuffers int
+	// StoreBuffers bounds outstanding non-cacheable stores per core
+	// (write-combining buffers).
+	StoreBuffers int
+	// Quantum is the OS scheduler's round-robin time slice (Section V:
+	// threads preempted every 1.5 ms).
+	Quantum clock.Picos
+}
+
+// DefaultConfig is the Table I host processor.
+func DefaultConfig() Config {
+	return Config{
+		Cores: 8,
+		Clock: 3200 * clock.MHz,
+		// 12 L1 line-fill buffers plus the L2 streaming prefetcher's
+		// in-flight lines: ~20 useful outstanding misses per core on a
+		// sequential stream.
+		LoadBuffers:  20,
+		StoreBuffers: 12,
+		Quantum:      clock.Picos(1.5 * float64(clock.Millisecond)),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Clock <= 0 || c.LoadBuffers <= 0 || c.StoreBuffers <= 0 {
+		return fmt.Errorf("cpu: non-positive config field: %+v", c)
+	}
+	if c.Quantum <= 0 {
+		return fmt.Errorf("cpu: non-positive quantum")
+	}
+	return nil
+}
+
+// Thread is one software thread.
+type Thread struct {
+	ID   int
+	Name string
+
+	prog Program
+
+	// pending is an op that could not issue yet (resource or queue full).
+	pending *Op
+	haveOp  bool
+
+	loadsOut  int // in-flight cacheable loads / fills
+	storesOut int // in-flight non-cacheable stores
+	totalOut  int // all in-flight memory ops (for barriers)
+
+	core    *Core // nil while descheduled
+	blocked bool  // waiting on a completion event
+	done    bool
+	onExit  func()
+
+	// computeUntil marks the end of an in-progress compute span so that a
+	// preemption can carry the unfinished remainder over to the thread's
+	// next dispatch instead of losing it.
+	computeUntil clock.Picos
+
+	// MemOps counts issued memory operations (for reports).
+	MemOps uint64
+}
+
+// Outstanding reports the thread's in-flight memory operations.
+func (t *Thread) Outstanding() int { return t.totalOut }
+
+// Done reports whether the program finished.
+func (t *Thread) Done() bool { return t.done }
+
+// Core is one hardware context.
+type Core struct {
+	id     int
+	cpu    *CPU
+	thread *Thread
+	kicked bool
+	// busyUntil tracks cumulative busy time for utilization accounting.
+	busy    clock.Picos
+	lastRun clock.Picos
+}
+
+// Thread returns the thread currently scheduled on the core, or nil.
+func (c *Core) Thread() *Thread { return c.thread }
+
+// CPU is the processor: cores plus the OS scheduler.
+type CPU struct {
+	eng *sim.Engine
+	cfg Config
+	dom clock.Domain
+	mem mem.Port
+
+	cores   []*Core
+	ready   []*Thread // runnable threads not on a core
+	nextID  int
+	alive   int // spawned minus exited
+	stopped bool
+}
+
+// New builds the processor. The quantum ticker starts with the first
+// spawned thread and stops when every thread has exited.
+func New(eng *sim.Engine, cfg Config, port mem.Port) *CPU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &CPU{eng: eng, cfg: cfg, dom: clock.NewDomain(cfg.Clock), mem: port}
+	for i := 0; i < cfg.Cores; i++ {
+		c.cores = append(c.cores, &Core{id: i, cpu: c})
+	}
+	return c
+}
+
+// Config reports the processor configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Domain reports the core clock domain.
+func (c *CPU) Domain() clock.Domain { return c.dom }
+
+// ActiveCores counts cores currently running a thread.
+func (c *CPU) ActiveCores() int {
+	n := 0
+	for _, core := range c.cores {
+		if core.thread != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Runnable counts live threads (running plus ready).
+func (c *CPU) Runnable() int { return c.alive }
+
+// Spawn creates a thread and schedules it. onExit, if non-nil, runs when
+// the program finishes.
+func (c *CPU) Spawn(name string, prog Program, onExit func()) *Thread {
+	t := &Thread{ID: c.nextID, Name: name, prog: prog, onExit: onExit}
+	c.nextID++
+	if c.alive == 0 {
+		c.startQuantumTicker()
+	}
+	c.alive++
+	if core := c.idleCore(); core != nil {
+		c.assign(core, t)
+	} else {
+		c.ready = append(c.ready, t)
+	}
+	return t
+}
+
+func (c *CPU) idleCore() *Core {
+	for _, core := range c.cores {
+		if core.thread == nil {
+			return core
+		}
+	}
+	return nil
+}
+
+func (c *CPU) assign(core *Core, t *Thread) {
+	core.thread = t
+	core.lastRun = c.eng.Now()
+	t.core = core
+	core.kick()
+}
+
+// startQuantumTicker begins round-robin preemption; it self-terminates
+// when no threads remain.
+func (c *CPU) startQuantumTicker() {
+	c.eng.Ticker(c.cfg.Quantum, func(now clock.Picos) bool {
+		if c.alive == 0 {
+			return false
+		}
+		c.rotate()
+		return true
+	})
+}
+
+// rotate implements the OS's fairness-first round-robin policy: at every
+// quantum boundary all running threads move to the tail of the ready
+// queue and the head of the queue is dispatched. When there are no more
+// threads than cores this is a no-op reassignment.
+func (c *CPU) rotate() {
+	if len(c.ready) == 0 {
+		return // nobody waiting: current threads keep their cores
+	}
+	now := c.eng.Now()
+	for _, core := range c.cores {
+		if core.thread != nil {
+			t := core.thread
+			core.accountBusy(now)
+			// Preserve the unfinished part of an in-progress compute span.
+			if t.computeUntil > now {
+				op := Op{Kind: OpCompute, Cycles: c.dom.CyclesCeil(t.computeUntil - now)}
+				t.pending = &op
+				t.haveOp = true
+			}
+			t.computeUntil = 0
+			core.thread = nil
+			t.core = nil
+			c.ready = append(c.ready, t)
+		}
+	}
+	for _, core := range c.cores {
+		if len(c.ready) == 0 {
+			break
+		}
+		t := c.ready[0]
+		c.ready = c.ready[1:]
+		c.assign(core, t)
+	}
+}
+
+// exit retires a finished thread and dispatches the next ready one.
+func (c *CPU) exit(core *Core) {
+	t := core.thread
+	core.accountBusy(c.eng.Now())
+	core.thread = nil
+	t.core = nil
+	t.done = true
+	c.alive--
+	if len(c.ready) > 0 {
+		next := c.ready[0]
+		c.ready = c.ready[1:]
+		c.assign(core, next)
+	}
+	if t.onExit != nil {
+		t.onExit()
+	}
+}
+
+func (core *Core) accountBusy(now clock.Picos) {
+	core.busy += now - core.lastRun
+	core.lastRun = now
+}
+
+// BusyTime reports the core's cumulative scheduled time.
+func (core *Core) BusyTime() clock.Picos {
+	b := core.busy
+	if core.thread != nil {
+		b += core.cpu.eng.Now() - core.lastRun
+	}
+	return b
+}
+
+// Cores exposes the core array (read-only use).
+func (c *CPU) Cores() []*Core { return c.cores }
+
+// kick schedules the core's execution step if not already pending.
+func (core *Core) kick() {
+	if core.kicked {
+		return
+	}
+	core.kicked = true
+	core.cpu.eng.After(0, core.advance)
+}
+
+// advance runs the scheduled thread until it blocks on a resource, starts
+// a compute span, or exits.
+func (core *Core) advance() {
+	core.kicked = false
+	t := core.thread
+	if t == nil {
+		return
+	}
+	cpu := core.cpu
+	if cpu.eng.Now() < t.computeUntil {
+		return // spurious wake during a compute span
+	}
+	t.computeUntil = 0
+	for {
+		if !t.haveOp {
+			op, ok := t.prog.Next()
+			if !ok {
+				cpu.exit(core)
+				return
+			}
+			t.pending = &op
+			t.haveOp = true
+		}
+		op := t.pending
+		switch op.Kind {
+		case OpCompute:
+			t.haveOp = false
+			if op.Cycles > 0 {
+				d := cpu.dom.Duration(op.Cycles)
+				t.computeUntil = cpu.eng.Now() + d
+				cpu.eng.After(d, core.resume(t))
+				return
+			}
+		case OpBarrier:
+			if t.totalOut > 0 {
+				t.blocked = true
+				return
+			}
+			t.haveOp = false
+		case OpLoad, OpStore:
+			// Loads occupy line-fill buffers; stores occupy store /
+			// write-combining buffers. A full buffer stalls the thread
+			// until a completion frees a slot.
+			if op.Kind == OpLoad && t.loadsOut >= cpu.cfg.LoadBuffers ||
+				op.Kind == OpStore && t.storesOut >= cpu.cfg.StoreBuffers {
+				t.blocked = true
+				return
+			}
+			req := &mem.Req{
+				Addr:      mem.LineAlign(op.Addr),
+				Cacheable: !op.NC,
+				SrcID:     t.ID,
+			}
+			if op.Kind == OpStore {
+				req.Kind = mem.Write
+			}
+			req.OnDone = t.completion(op.Kind, cpu)
+			if !cpu.mem.TryEnqueue(req) {
+				cpu.mem.WaitSpace(func() { core.kickIfMine(t) })
+				return
+			}
+			if op.Kind == OpLoad {
+				t.loadsOut++
+			} else {
+				t.storesOut++
+			}
+			t.totalOut++
+			t.MemOps++
+			t.haveOp = false
+		default:
+			panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+// resume returns a callback that continues t if it still owns this core
+// when the event fires (it may have been preempted meanwhile; the ready
+// thread will re-run on its next dispatch).
+func (core *Core) resume(t *Thread) func() {
+	return func() {
+		if core.thread == t {
+			core.kick()
+		}
+	}
+}
+
+// kickIfMine re-kicks the core if thread t is still scheduled on it.
+func (core *Core) kickIfMine(t *Thread) {
+	if core.thread == t {
+		core.kick()
+	}
+}
+
+// completion builds the OnDone callback for a memory op of the given kind.
+func (t *Thread) completion(kind OpKind, cpu *CPU) func(clock.Picos) {
+	return func(clock.Picos) {
+		if kind == OpLoad {
+			t.loadsOut--
+		} else {
+			t.storesOut--
+		}
+		t.totalOut--
+		if t.blocked {
+			t.blocked = false
+			if t.core != nil {
+				t.core.kick()
+			}
+		}
+	}
+}
+
+// Now reports the current simulated time (convenience for workload
+// orchestrators built on the CPU).
+func (c *CPU) Now() clock.Picos { return c.eng.Now() }

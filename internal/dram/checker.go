@@ -1,0 +1,206 @@
+package dram
+
+import "fmt"
+
+// Checker is a DDR4 protocol verifier: attached as an Observer, it
+// validates every issued command against the JEDEC timing constraints and
+// bank-state rules, independently of the scheduler's own bookkeeping.
+// It is the simulator's safety net — the property tests drive random
+// traffic through a channel with a checker attached and assert zero
+// violations.
+type Checker struct {
+	t    Timing
+	geom struct{ ranks, bgs, banks int }
+
+	banks []checkerBank // [rank][bg*banks+bank]
+	rank  []checkerRank
+
+	lastCASCycle int64
+	lastCASKind  Cmd
+	lastCASRank  int
+	haveCAS      bool
+
+	violations []string
+}
+
+type checkerBank struct {
+	open      bool
+	row       int
+	actCycle  int64
+	lastCAS   int64
+	lastWrite int64 // WR CAS cycle, -1 never
+	lastRead  int64
+	preCycle  int64
+	haveAct   bool
+	havePre   bool
+}
+
+type checkerRank struct {
+	acts        []int64 // history of ACT cycles for tFAW / tRRD
+	lastCASBG   []int64 // per bank group, for tCCD_L
+	lastWrite   int64
+	haveWrite   bool
+	refUntil    int64 // busy with refresh until this cycle
+	lastRefDone int64
+}
+
+// NewChecker builds a checker for one channel of the given config.
+func NewChecker(cfg Config) *Checker {
+	c := &Checker{t: cfg.Timing}
+	c.geom.ranks = cfg.Geometry.Ranks
+	c.geom.bgs = cfg.Geometry.BankGroups
+	c.geom.banks = cfg.Geometry.Banks
+	c.banks = make([]checkerBank, cfg.Geometry.Ranks*cfg.Geometry.BankGroups*cfg.Geometry.Banks)
+	c.rank = make([]checkerRank, cfg.Geometry.Ranks)
+	for r := range c.rank {
+		c.rank[r].lastCASBG = make([]int64, cfg.Geometry.BankGroups)
+		for i := range c.rank[r].lastCASBG {
+			c.rank[r].lastCASBG[i] = -1 << 40
+		}
+		c.rank[r].lastWrite = -1 << 40
+		c.rank[r].refUntil = -1 << 40
+	}
+	for i := range c.banks {
+		c.banks[i].lastWrite = -1 << 40
+		c.banks[i].lastRead = -1 << 40
+	}
+	return c
+}
+
+// Violations returns every recorded protocol violation.
+func (c *Checker) Violations() []string { return c.violations }
+
+func (c *Checker) fail(e CmdEvent, format string, args ...interface{}) {
+	c.violations = append(c.violations,
+		fmt.Sprintf("%v: %s", e, fmt.Sprintf(format, args...)))
+}
+
+func (c *Checker) bankOf(e CmdEvent) *checkerBank {
+	idx := (e.Rank*c.geom.bgs+e.BankGrp)*c.geom.banks + e.Bank
+	return &c.banks[idx]
+}
+
+// Command implements Observer.
+func (c *Checker) Command(_ int, e CmdEvent) {
+	t := &c.t
+	switch e.Cmd {
+	case CmdACT:
+		b := c.bankOf(e)
+		r := &c.rank[e.Rank]
+		if b.open {
+			c.fail(e, "ACT to open bank (row %d still open)", b.row)
+		}
+		if b.havePre && e.Cycle-b.preCycle < int64(t.RP) {
+			c.fail(e, "tRP violated: PRE at %d", b.preCycle)
+		}
+		if b.haveAct && e.Cycle-b.actCycle < int64(t.RC) {
+			c.fail(e, "tRC violated: last ACT at %d", b.actCycle)
+		}
+		if e.Cycle < r.refUntil {
+			c.fail(e, "ACT during refresh (until %d)", r.refUntil)
+		}
+		// tRRD_S against the most recent ACT in the rank; tFAW against the
+		// fourth-most-recent.
+		n := len(r.acts)
+		if n > 0 && e.Cycle-r.acts[n-1] < int64(t.RRDS) {
+			c.fail(e, "tRRD_S violated: prev ACT at %d", r.acts[n-1])
+		}
+		if n >= 4 && e.Cycle-r.acts[n-4] < int64(t.FAW) {
+			c.fail(e, "tFAW violated: 4th-previous ACT at %d", r.acts[n-4])
+		}
+		r.acts = append(r.acts, e.Cycle)
+		if len(r.acts) > 8 {
+			r.acts = r.acts[len(r.acts)-8:]
+		}
+		b.open, b.row = true, e.Row
+		b.actCycle, b.haveAct = e.Cycle, true
+
+	case CmdPRE:
+		b := c.bankOf(e)
+		if !b.open {
+			// PRE to a closed bank is legal (PREA semantics) but our
+			// controller never does it; flag it.
+			c.fail(e, "PRE to closed bank")
+			return
+		}
+		if e.Cycle-b.actCycle < int64(t.RAS) {
+			c.fail(e, "tRAS violated: ACT at %d", b.actCycle)
+		}
+		if b.lastRead > -1<<39 && e.Cycle-b.lastRead < int64(t.RTP) {
+			c.fail(e, "tRTP violated: RD at %d", b.lastRead)
+		}
+		if b.lastWrite > -1<<39 && e.Cycle-b.lastWrite < int64(t.CWL+t.BL+t.WR) {
+			c.fail(e, "tWR violated: WR at %d", b.lastWrite)
+		}
+		b.open = false
+		b.preCycle, b.havePre = e.Cycle, true
+
+	case CmdRD, CmdWR:
+		b := c.bankOf(e)
+		r := &c.rank[e.Rank]
+		if !b.open {
+			c.fail(e, "CAS to closed bank")
+		} else if b.row != e.Row {
+			c.fail(e, "CAS row %d but open row is %d", e.Row, b.row)
+		}
+		if b.haveAct && e.Cycle-b.actCycle < int64(t.RCD) {
+			c.fail(e, "tRCD violated: ACT at %d", b.actCycle)
+		}
+		if e.Cycle < r.refUntil {
+			c.fail(e, "CAS during refresh (until %d)", r.refUntil)
+		}
+		// tCCD_L within the bank group.
+		if last := r.lastCASBG[e.BankGrp]; e.Cycle-last < int64(t.CCDL) {
+			c.fail(e, "tCCD_L violated: last CAS in bg at %d", last)
+		}
+		// tCCD_S channel-wide.
+		if c.haveCAS && e.Cycle-c.lastCASCycle < int64(t.CCDS) {
+			c.fail(e, "tCCD_S violated: last CAS at %d", c.lastCASCycle)
+		}
+		// Data-bus occupancy: two bursts may not overlap. Burst start for
+		// RD is CAS+CL, for WR is CAS+CWL; both last BL cycles.
+		if c.haveCAS {
+			prevStart := c.lastCASCycle + int64(t.CL)
+			if c.lastCASKind == CmdWR {
+				prevStart = c.lastCASCycle + int64(t.CWL)
+			}
+			curStart := e.Cycle + int64(t.CL)
+			if e.Cmd == CmdWR {
+				curStart = e.Cycle + int64(t.CWL)
+			}
+			if curStart < prevStart+int64(t.BL) {
+				c.fail(e, "data bus overlap: previous burst [%d,%d)", prevStart, prevStart+int64(t.BL))
+			}
+		}
+		// tWTR: a RD after a WR burst in the same rank.
+		if e.Cmd == CmdRD && r.haveWrite {
+			wrBurstEnd := r.lastWrite + int64(t.CWL+t.BL)
+			if e.Cycle < wrBurstEnd+int64(t.WTRS) {
+				c.fail(e, "tWTR_S violated: WR at %d", r.lastWrite)
+			}
+		}
+		r.lastCASBG[e.BankGrp] = e.Cycle
+		c.lastCASCycle, c.lastCASKind, c.lastCASRank = e.Cycle, e.Cmd, e.Rank
+		c.haveCAS = true
+		if e.Cmd == CmdWR {
+			b.lastWrite = e.Cycle
+			r.lastWrite = e.Cycle
+			r.haveWrite = true
+		} else {
+			b.lastRead = e.Cycle
+		}
+
+	case CmdREF:
+		r := &c.rank[e.Rank]
+		for i := range c.banks {
+			if i/(c.geom.bgs*c.geom.banks) == e.Rank && c.banks[i].open {
+				c.fail(e, "REF with open bank %d", i)
+			}
+		}
+		if e.Cycle < r.refUntil {
+			c.fail(e, "REF during refresh (until %d)", r.refUntil)
+		}
+		r.refUntil = e.Cycle + int64(c.t.RFC)
+		r.lastRefDone = r.refUntil
+	}
+}

@@ -1,0 +1,181 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.ActPJ = -1
+	if bad.Validate() == nil {
+		t.Error("negative ActPJ accepted")
+	}
+}
+
+// An idle second must cost exactly the static power budget.
+func TestIdleSecondIsStaticOnly(t *testing.T) {
+	p := DefaultParams()
+	a := Activity{Wall: clock.Second, Cores: 8, Ranks: 16}
+	b := p.Energy(a)
+	if b.CoreDynamic != 0 || b.DRAMDynamic != 0 || b.CacheDynamic != 0 {
+		t.Error("idle interval accrued dynamic energy")
+	}
+	wantWatts := (8*2.0 + 8 + 20 + 16*0.095)
+	if got := p.Power(a); math.Abs(got-wantWatts) > 0.01 {
+		t.Errorf("idle power = %.3f W, want %.3f W", got, wantWatts)
+	}
+}
+
+// A fully busy 8-core AVX transfer must land near the paper's ~70 W
+// system power (Fig. 4).
+func TestBusyTransferPowerNearPaper(t *testing.T) {
+	p := DefaultParams()
+	// One second, all 8 cores busy, transfer moving ~9 GB/s through DRAM:
+	// ~140M reads + 140M writes + proportional ACTs.
+	a := Activity{
+		Wall:     clock.Second,
+		CoreBusy: 8 * clock.Second,
+		Cores:    8,
+		Ranks:    16,
+		Reads:    140e6,
+		Writes:   140e6,
+		Acts:     10e6,
+		Refs:     2e6,
+	}
+	got := p.Power(a)
+	if got < 55 || got > 80 {
+		t.Errorf("busy transfer power = %.1f W, want ~65-70 W (paper Fig. 4)", got)
+	}
+}
+
+// Processor-side (core+cache+uncore) energy must dominate DRAM energy for
+// a busy transfer — the premise behind Fig. 15b's conclusion that energy
+// tracks duration.
+func TestProcessorSideDominates(t *testing.T) {
+	p := DefaultParams()
+	a := Activity{
+		Wall: clock.Second, CoreBusy: 8 * clock.Second, Cores: 8, Ranks: 16,
+		Reads: 140e6, Writes: 140e6, Acts: 10e6, Refs: 2e6, LLCAccesses: 140e6,
+	}
+	b := p.Energy(a)
+	proc := b.CoreDynamic + b.CoreStatic + b.CacheDynamic + b.CacheStatic
+	dramSide := b.DRAMDynamic + b.DRAMStatic
+	if proc <= dramSide {
+		t.Errorf("processor side %.2f J <= DRAM side %.2f J; Fig. 15b premise broken", proc, dramSide)
+	}
+}
+
+// The Base+D phenomenon: a DCE transfer that takes 3x longer than the
+// baseline must cost more energy even though it uses no CPU cores.
+func TestSlowerDMACostsMoreEnergy(t *testing.T) {
+	p := DefaultParams()
+	bytes := uint64(64 << 20)
+	lines := bytes / 64
+	baseline := p.Energy(Activity{
+		Wall: 10 * clock.Millisecond, CoreBusy: 80 * clock.Millisecond,
+		Cores: 8, Ranks: 16,
+		Reads: lines, Writes: lines, Acts: lines / 16,
+	})
+	slowDMA := p.Energy(Activity{
+		Wall:  30 * clock.Millisecond, // 3x slower
+		Cores: 8, Ranks: 16,
+		Reads: lines, Writes: lines, Acts: lines / 16,
+		DCELines: lines, DCEPresent: true,
+	})
+	if slowDMA.Total() <= baseline.Total() {
+		t.Errorf("slow DMA %.3f J <= baseline %.3f J; static energy should dominate",
+			slowDMA.Total(), baseline.Total())
+	}
+}
+
+// A 4x faster PIM-MMU transfer must be several times more
+// energy-efficient (paper: 3.3x-4.9x).
+func TestPIMMMUEnergyEfficiencyGain(t *testing.T) {
+	p := DefaultParams()
+	bytes := uint64(64 << 20)
+	lines := bytes / 64
+	base := p.Energy(Activity{
+		Wall: 8 * clock.Millisecond, CoreBusy: 64 * clock.Millisecond,
+		Cores: 8, Ranks: 16,
+		Reads: lines, Writes: lines, Acts: lines / 16, LLCAccesses: lines,
+	})
+	mmu := p.Energy(Activity{
+		Wall:  2 * clock.Millisecond, // 4x faster
+		Cores: 8, Ranks: 16,
+		Reads: lines, Writes: lines, Acts: lines / 64,
+		DCELines: lines, DCEPresent: true,
+	})
+	gain := EfficiencyBytesPerJoule(bytes, mmu) / EfficiencyBytesPerJoule(bytes, base)
+	if gain < 2.5 || gain > 8 {
+		t.Errorf("energy-efficiency gain = %.2fx, want in the paper's 3.3x-4.9x neighbourhood", gain)
+	}
+}
+
+// Property: energy is additive over interval splits (Sub/Energy are
+// consistent).
+func TestEnergyAdditiveOverIntervals(t *testing.T) {
+	p := DefaultParams()
+	f := func(r1, w1, r2, w2 uint32) bool {
+		a1 := Activity{Wall: clock.Millisecond, CoreBusy: clock.Millisecond,
+			Cores: 8, Ranks: 16, Reads: uint64(r1), Writes: uint64(w1)}
+		a2 := Activity{Wall: clock.Millisecond, CoreBusy: clock.Millisecond,
+			Cores: 8, Ranks: 16, Reads: uint64(r2), Writes: uint64(w2)}
+		sum := Activity{Wall: 2 * clock.Millisecond, CoreBusy: 2 * clock.Millisecond,
+			Cores: 8, Ranks: 16, Reads: uint64(r1) + uint64(r2), Writes: uint64(w1) + uint64(w2)}
+		got := p.Energy(a1).Total() + p.Energy(a2).Total()
+		want := p.Energy(sum).Total()
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActivitySub(t *testing.T) {
+	cur := Activity{Wall: 100, CoreBusy: 50, Reads: 10, Writes: 20, Acts: 3, Refs: 1, LLCAccesses: 7, DCELines: 4}
+	prev := Activity{Wall: 40, CoreBusy: 20, Reads: 4, Writes: 8, Acts: 1, Refs: 0, LLCAccesses: 2, DCELines: 1}
+	d := cur.Sub(prev)
+	if d.Wall != 60 || d.CoreBusy != 30 || d.Reads != 6 || d.Writes != 12 ||
+		d.Acts != 2 || d.Refs != 1 || d.LLCAccesses != 5 || d.DCELines != 3 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestZeroWallPower(t *testing.T) {
+	if DefaultParams().Power(Activity{}) != 0 {
+		t.Error("zero-interval power != 0")
+	}
+	if EfficiencyBytesPerJoule(100, Breakdown{}) != 0 {
+		t.Error("zero-energy efficiency != 0")
+	}
+}
+
+// Area: the paper's exact numbers — 80 KB of SRAM = 0.85 mm^2, 0.37% of
+// the CPU die.
+func TestAreaMatchesPaper(t *testing.T) {
+	if got := SRAMAreaMM2(80 << 10); math.Abs(got-0.85) > 1e-9 {
+		t.Errorf("SRAMAreaMM2(80KB) = %.4f, want 0.85", got)
+	}
+	frac := DieOverheadFraction(16<<10, 64<<10)
+	if frac < 0.0035 || frac > 0.0042 {
+		t.Errorf("die overhead = %.4f%%, want ~0.37%%", frac*100)
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	b := Breakdown{CoreDynamic: 1, CoreStatic: 2, CacheDynamic: 3, CacheStatic: 4,
+		DRAMDynamic: 5, DRAMStatic: 6, PIMMMUDynamic: 7, PIMMMUStatic: 8}
+	if b.Total() != 36 {
+		t.Errorf("Total = %v, want 36", b.Total())
+	}
+	if b.Static() != 20 {
+		t.Errorf("Static = %v, want 20", b.Static())
+	}
+}

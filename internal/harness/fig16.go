@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/prim"
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+// Fig16 reproduces the end-to-end PrIM evaluation: the per-workload time
+// breakdown (DRAM->PIM transfer, PIM kernel, PIM->DRAM transfer) for the
+// baseline and for PIM-MMU, normalized to the baseline.
+func Fig16(w io.Writer, sc Scale) {
+	scale := 1.0 / 64
+	if sc == Full {
+		scale = 1.0
+	}
+	t := stats.NewTable("workload",
+		"base in%", "base kern%", "base out%",
+		"mmu total (norm.)", "speedup", "xfer cut in", "xfer cut out")
+	var speedups, fracs []float64
+	for _, wl := range prim.Suite() {
+		base := system.MustNew(system.DefaultConfig(system.Base))
+		pb := prim.RunEndToEnd(base, wl, scale)
+		mmu := system.MustNew(system.DefaultConfig(system.PIMMMU))
+		pm := prim.RunEndToEnd(mmu, wl, scale)
+
+		bt := float64(pb.Total())
+		sp := bt / float64(pm.Total())
+		speedups = append(speedups, sp)
+		fracs = append(fracs, pb.TransferFraction())
+		inCut, outCut := 0.0, 0.0
+		if pm.In > 0 {
+			inCut = float64(pb.In) / float64(pm.In)
+		}
+		if pm.Out > 0 {
+			outCut = float64(pb.Out) / float64(pm.Out)
+		}
+		t.Rowf("%s\t%.0f\t%.0f\t%.0f\t%.2f\t%s\t%s\t%s",
+			wl.Name,
+			100*float64(pb.In)/bt, 100*float64(pb.Kernel)/bt, 100*float64(pb.Out)/bt,
+			float64(pm.Total())/bt, ratio(sp), ratio(inCut), ratio(outCut))
+	}
+	fmt.Fprint(w, t)
+	fmt.Fprintf(w, "baseline transfer share: avg %.1f%% (paper: 63.7%%, max 99.7%%)\n",
+		100*stats.Mean(fracs))
+	fmt.Fprintf(w, "end-to-end speedup: avg %s, max %s (paper: avg 2.2x, max 4.0x)\n",
+		ratio(stats.Mean(speedups)), ratio(stats.Max(speedups)))
+}

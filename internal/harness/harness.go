@@ -1,0 +1,188 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment is a function that runs the
+// required simulations and returns a structured result with a printable
+// rendering; cmd/pimmu-bench exposes them as subcommands and the
+// top-level benchmark suite runs them under testing.B.
+//
+// Quick mode shrinks transfer sizes so the full suite completes in
+// minutes on a laptop; the shapes (who wins, by what factor) are the
+// same, only tails and asymptotes move slightly.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick shrinks sizes for fast iteration (default).
+	Quick Scale = iota
+	// Full uses the paper's sizes (1 MB - 256 MB sweeps, full PrIM).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// newSystem builds a fresh Table I machine at the given design point.
+func newSystem(d system.Design) *system.System {
+	return system.MustNew(system.DefaultConfig(d))
+}
+
+// runTransfer executes one whole-device transfer of totalBytes.
+func runTransfer(s *system.System, dir core.Direction, totalBytes uint64) system.XferResult {
+	per := perCore(s, totalBytes)
+	return s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
+}
+
+// perCore converts a total size into the per-core size, floored to one
+// line.
+func perCore(s *system.System, totalBytes uint64) uint64 {
+	per := totalBytes / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	if per < 64 {
+		per = 64
+	}
+	return per
+}
+
+// gb formats bytes/sec.
+func gb(v float64) string { return fmt.Sprintf("%.2f", v/1e9) }
+
+// ratio formats a multiplier.
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Experiment names every reproducible artifact.
+type Experiment struct {
+	Name  string
+	Brief string
+	Run   func(w io.Writer, sc Scale)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "system configuration (Table I)", Table1},
+		{"fig4", "CPU utilization & power during transfers (Fig. 4)", Fig4},
+		{"fig6", "per-channel write-throughput breakdown (Fig. 6)", Fig6},
+		{"fig8", "DRAM bandwidth: locality vs MLP mapping (Fig. 8)", Fig8},
+		{"fig13a", "compute-contender sensitivity (Fig. 13a)", Fig13a},
+		{"fig13b", "memory-contender sensitivity (Fig. 13b)", Fig13b},
+		{"fig14", "DRAM->DRAM memcpy throughput (Fig. 14)", Fig14},
+		{"fig15a", "ablation: transfer throughput (Fig. 15a)", Fig15a},
+		{"fig15b", "ablation: energy (Fig. 15b)", Fig15b},
+		{"fig16", "PrIM end-to-end breakdown (Fig. 16)", Fig16},
+		{"area", "implementation overhead (Section VI-C)", Area},
+		{"headline", "headline speedups (abstract numbers)", Headline},
+	}
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Table1 prints the simulated system configuration.
+func Table1(w io.Writer, _ Scale) {
+	cfg := system.DefaultConfig(system.PIMMMU)
+	t := stats.NewTable("component", "configuration")
+	cp := cfg.CPU
+	t.Rowf("CPU\t%d cores, %.1f GHz, %d load buffers, %d store buffers",
+		cp.Cores, float64(cp.Clock)/1e9, cp.LoadBuffers, cp.StoreBuffers)
+	t.Rowf("OS scheduler\tround robin, %v quantum", cp.Quantum)
+	t.Rowf("LLC\t%d MB shared, %d-way, 64 B lines",
+		cfg.Mem.LLC.SizeBytes>>20, cfg.Mem.LLC.Ways)
+	dg := cfg.Mem.DRAM.Geometry
+	t.Rowf("Memory controller\t%d-entry read & write queues, FR-FCFS, write drain %d/%d",
+		cfg.Mem.DRAM.QueueDepth, cfg.Mem.DRAM.WriteDrainHi, cfg.Mem.DRAM.WriteDrainLo)
+	t.Rowf("DRAM system\tDDR4-2400, %d channels, %d ranks/channel (%.1f GiB)",
+		dg.Channels, dg.Ranks, float64(dg.TotalBytes())/(1<<30))
+	pg := cfg.Mem.PIM.Geometry
+	t.Rowf("PIM system\tDDR4-2400, %d channels, %d ranks/channel, %d PIM cores (%d MiB MRAM each)",
+		pg.Channels, pg.Ranks, cfg.PIM.NumCores(), cfg.PIM.MRAMBytes()>>20)
+	t.Rowf("DCE\t%.1f GHz, %d KB data buffer, %d KB address buffer",
+		float64(cfg.DCE.Clock)/1e9, cfg.DCE.DataBufBytes>>10, cfg.DCE.AddrBufBytes>>10)
+	t.Rowf("PIM-MS\tAlgorithm 1 (channel-parallel, bank-group interleaved)")
+	t.Rowf("HetMap\tDRAM: MLP-centric + XOR hash; PIM: ChRaBgBkRoCo")
+	fmt.Fprint(w, t)
+}
+
+// Headline runs the abstract's summary numbers: average/max transfer
+// speedup and energy-efficiency gain of PIM-MMU over Base.
+func Headline(w io.Writer, sc Scale) {
+	sizes := []uint64{1 << 20, 4 << 20, 16 << 20}
+	if sc == Full {
+		sizes = append(sizes, 64<<20, 256<<20)
+	}
+	var speedups, effs []float64
+	for _, dir := range []core.Direction{core.DRAMToPIM, core.PIMToDRAM} {
+		for _, size := range sizes {
+			b := newSystem(system.Base)
+			b0 := b.Activity()
+			rb := runTransfer(b, dir, size)
+			eb := b.EnergyOver(b0, b.Activity())
+
+			m := newSystem(system.PIMMMU)
+			m0 := m.Activity()
+			rm := runTransfer(m, dir, size)
+			em := m.EnergyOver(m0, m.Activity())
+
+			speedups = append(speedups, rm.Throughput()/rb.Throughput())
+			effs = append(effs, (float64(rm.Bytes)/em.Total())/(float64(rb.Bytes)/eb.Total()))
+		}
+	}
+	t := stats.NewTable("metric", "paper", "measured (avg)", "measured (max)")
+	t.Rowf("transfer throughput gain\t4.1x (max 6.9x)\t%s\t%s",
+		ratio(stats.Mean(speedups)), ratio(stats.Max(speedups)))
+	t.Rowf("energy-efficiency gain\t4.1x (max 6.9x)\t%s\t%s",
+		ratio(stats.Mean(effs)), ratio(stats.Max(effs)))
+	fmt.Fprint(w, t)
+}
+
+// Area prints the Section VI-C implementation-overhead analysis.
+func Area(w io.Writer, _ Scale) {
+	cfg := core.DefaultConfig()
+	t := stats.NewTable("quantity", "paper", "model")
+	dataKB := cfg.DataBufBytes >> 10
+	addrKB := cfg.AddrBufBytes >> 10
+	t.Rowf("DCE SRAM\t16 KB + 64 KB\t%d KB + %d KB", dataKB, addrKB)
+	t.Rowf("area (32 nm)\t0.85 mm^2\t%.2f mm^2", areaMM2(cfg))
+	t.Rowf("CPU die overhead\t0.37%%\t%.2f%%", 100*dieFrac(cfg))
+	fmt.Fprint(w, t)
+}
+
+// windowBuckets renders the head of a series as percentage shares.
+func windowBuckets(series []*stats.Series, n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(series))
+		var total float64
+		for c, s := range series {
+			row[c] = s.Bucket(i)
+			total += s.Bucket(i)
+		}
+		if total > 0 {
+			for c := range row {
+				row[c] = 100 * row[c] / total
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}

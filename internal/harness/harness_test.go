@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsListed(t *testing.T) {
+	want := []string{"table1", "fig4", "fig6", "fig8", "fig13a", "fig13b",
+		"fig14", "fig15a", "fig15b", "fig16", "area", "headline"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() has %d experiments, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Errorf("experiment %d = %q, want %q", i, got[i].Name, name)
+		}
+		if got[i].Brief == "" || got[i].Run == nil {
+			t.Errorf("experiment %q incomplete", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if e, ok := ByName("fig8"); !ok || e.Name != "fig8" {
+		t.Error("ByName(fig8) failed")
+	}
+	if _, ok := ByName("fig99"); ok {
+		t.Error("ByName(fig99) succeeded")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale strings wrong")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf, Quick)
+	out := buf.String()
+	for _, want := range []string{"512 PIM cores", "DDR4-2400", "FR-FCFS",
+		"16 KB data buffer", "64 KB address buffer", "ChRaBgBkRoCo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestAreaRendering(t *testing.T) {
+	var buf bytes.Buffer
+	Area(&buf, Quick)
+	out := buf.String()
+	if !strings.Contains(out, "0.85 mm^2") || !strings.Contains(out, "0.37%") {
+		t.Errorf("Area output missing paper reference values:\n%s", out)
+	}
+}
+
+// Fig8 is the cheapest simulation-backed experiment; run it end to end
+// and validate the printed ratio is in the paper's neighbourhood.
+func TestFig8EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	var buf bytes.Buffer
+	Fig8(&buf, Quick)
+	out := buf.String()
+	if !strings.Contains(out, "sequential") || !strings.Contains(out, "strided") {
+		t.Fatalf("Fig8 output malformed:\n%s", out)
+	}
+	// The locality/MLP column should show values near 0.30.
+	if !strings.Contains(out, "0.3") && !strings.Contains(out, "0.2") {
+		t.Errorf("Fig8 ratio not in the paper's neighbourhood:\n%s", out)
+	}
+}
+
+func TestPerCoreFloor(t *testing.T) {
+	s := newSystem(0)
+	if got := perCore(s, 1); got != 64 {
+		t.Errorf("perCore(1 byte) = %d, want floor 64", got)
+	}
+	if got := perCore(s, 512*128); got != 128 {
+		t.Errorf("perCore = %d, want 128", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if gb(19.2e9) != "19.20" {
+		t.Errorf("gb = %q", gb(19.2e9))
+	}
+	if ratio(2.5) != "2.50x" {
+		t.Errorf("ratio = %q", ratio(2.5))
+	}
+}

@@ -1,0 +1,692 @@
+// Package prim implements the PrIM benchmark suite (Gómez-Luna et al.)
+// used for the paper's end-to-end evaluation (Section VI-B, Fig. 16): the
+// 16 memory-intensive workloads, each with a host reference
+// implementation, a DPU-partitioned SPMD implementation (functional — it
+// computes real results so partitioning bugs are caught by tests), and a
+// timing descriptor (transfer volumes plus a DPU kernel-time model).
+package prim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// splitRange divides n items into cores near-equal chunks; chunk c is
+// [starts[c], starts[c+1]).
+func splitRange(n, cores int) []int {
+	starts := make([]int, cores+1)
+	base, extra := n/cores, n%cores
+	off := 0
+	for c := 0; c < cores; c++ {
+		starts[c] = off
+		off += base
+		if c < extra {
+			off++
+		}
+	}
+	starts[cores] = n
+	return starts
+}
+
+// --- VA: vector addition ---
+
+// VAHost computes c = a + b.
+func VAHost(a, b []int32) []int32 {
+	if len(a) != len(b) {
+		panic("prim: VA length mismatch")
+	}
+	c := make([]int32, len(a))
+	for i := range a {
+		c[i] = a[i] + b[i]
+	}
+	return c
+}
+
+// VADPU partitions the vectors across cores (SPMD chunking) and merges.
+func VADPU(a, b []int32, cores int) []int32 {
+	c := make([]int32, len(a))
+	starts := splitRange(len(a), cores)
+	for core := 0; core < cores; core++ {
+		for i := starts[core]; i < starts[core+1]; i++ {
+			c[i] = a[i] + b[i]
+		}
+	}
+	return c
+}
+
+// --- RED: reduction ---
+
+// REDHost sums x.
+func REDHost(x []int64) int64 {
+	var s int64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// REDDPU reduces per-core partial sums, then the host combines them —
+// the tree the PrIM RED kernel uses.
+func REDDPU(x []int64, cores int) int64 {
+	starts := splitRange(len(x), cores)
+	partial := make([]int64, cores)
+	for c := 0; c < cores; c++ {
+		for i := starts[c]; i < starts[c+1]; i++ {
+			partial[c] += x[i]
+		}
+	}
+	var s int64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// --- SCAN-SSA and SCAN-RSS: exclusive prefix sum ---
+
+// ScanHost computes the exclusive prefix sum.
+func ScanHost(x []int64) []int64 {
+	out := make([]int64, len(x))
+	var acc int64
+	for i, v := range x {
+		out[i] = acc
+		acc += v
+	}
+	return out
+}
+
+// ScanSSADPU is the scan-scan-add decomposition: each core scans its
+// chunk, the host scans the chunk totals, each core adds its offset.
+func ScanSSADPU(x []int64, cores int) []int64 {
+	out := make([]int64, len(x))
+	starts := splitRange(len(x), cores)
+	totals := make([]int64, cores)
+	for c := 0; c < cores; c++ {
+		var acc int64
+		for i := starts[c]; i < starts[c+1]; i++ {
+			out[i] = acc
+			acc += x[i]
+		}
+		totals[c] = acc
+	}
+	offsets := ScanHost(totals)
+	for c := 0; c < cores; c++ {
+		for i := starts[c]; i < starts[c+1]; i++ {
+			out[i] += offsets[c]
+		}
+	}
+	return out
+}
+
+// ScanRSSDPU is the reduce-scan-scan decomposition: each core reduces its
+// chunk, the host scans the totals, each core re-scans with its offset.
+func ScanRSSDPU(x []int64, cores int) []int64 {
+	starts := splitRange(len(x), cores)
+	totals := make([]int64, cores)
+	for c := 0; c < cores; c++ {
+		for i := starts[c]; i < starts[c+1]; i++ {
+			totals[c] += x[i]
+		}
+	}
+	offsets := ScanHost(totals)
+	out := make([]int64, len(x))
+	for c := 0; c < cores; c++ {
+		acc := offsets[c]
+		for i := starts[c]; i < starts[c+1]; i++ {
+			out[i] = acc
+			acc += x[i]
+		}
+	}
+	return out
+}
+
+// --- SEL: stream select (keep elements not divisible by k) ---
+
+// SELHost filters x, keeping values v with v%k != 0.
+func SELHost(x []int64, k int64) []int64 {
+	var out []int64
+	for _, v := range x {
+		if v%k != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SELDPU filters per core, then compacts chunks in core order (the
+// prefix-sum-of-counts placement PrIM's SEL uses).
+func SELDPU(x []int64, k int64, cores int) []int64 {
+	starts := splitRange(len(x), cores)
+	chunks := make([][]int64, cores)
+	for c := 0; c < cores; c++ {
+		for i := starts[c]; i < starts[c+1]; i++ {
+			if x[i]%k != 0 {
+				chunks[c] = append(chunks[c], x[i])
+			}
+		}
+	}
+	var out []int64
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+// --- UNI: unique (remove consecutive duplicates) ---
+
+// UNIHost keeps the first element of every run of equal values.
+func UNIHost(x []int64) []int64 {
+	var out []int64
+	for i, v := range x {
+		if i == 0 || v != x[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// UNIDPU deduplicates per chunk, with boundary repair between chunks.
+func UNIDPU(x []int64, cores int) []int64 {
+	if len(x) == 0 {
+		return nil
+	}
+	starts := splitRange(len(x), cores)
+	var out []int64
+	for c := 0; c < cores; c++ {
+		for i := starts[c]; i < starts[c+1]; i++ {
+			if i == 0 || x[i] != x[i-1] {
+				out = append(out, x[i])
+			}
+		}
+	}
+	return out
+}
+
+// --- BS: binary search ---
+
+// BSHost returns, for each query, the index of its first occurrence in
+// the sorted haystack (or -1).
+func BSHost(haystack, queries []int64) []int32 {
+	out := make([]int32, len(queries))
+	for i, q := range queries {
+		j := sort.Search(len(haystack), func(k int) bool { return haystack[k] >= q })
+		if j < len(haystack) && haystack[j] == q {
+			out[i] = int32(j)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// BSDPU partitions the queries across cores; every core holds the full
+// haystack (replicated input, as in PrIM).
+func BSDPU(haystack, queries []int64, cores int) []int32 {
+	out := make([]int32, len(queries))
+	starts := splitRange(len(queries), cores)
+	for c := 0; c < cores; c++ {
+		part := BSHost(haystack, queries[starts[c]:starts[c+1]])
+		copy(out[starts[c]:], part)
+	}
+	return out
+}
+
+// --- HST-S / HST-L: histogram (small and large bin counts) ---
+
+// HSTHost builds a histogram of x into bins buckets; values hash by
+// modulo.
+func HSTHost(x []int32, bins int) []int64 {
+	h := make([]int64, bins)
+	for _, v := range x {
+		h[int(uint32(v))%bins]++
+	}
+	return h
+}
+
+// HSTDPU builds per-core private histograms and merges them (HST-S keeps
+// the histogram in scratchpad, HST-L in MRAM; functionally identical).
+func HSTDPU(x []int32, bins, cores int) []int64 {
+	starts := splitRange(len(x), cores)
+	h := make([]int64, bins)
+	for c := 0; c < cores; c++ {
+		local := make([]int64, bins)
+		for i := starts[c]; i < starts[c+1]; i++ {
+			local[int(uint32(x[i]))%bins]++
+		}
+		for b, v := range local {
+			h[b] += v
+		}
+	}
+	return h
+}
+
+// --- GEMV: dense matrix-vector multiply ---
+
+// GEMVHost computes y = M*v for a rows x cols row-major matrix.
+func GEMVHost(m []int32, rows, cols int, v []int32) []int64 {
+	if len(m) != rows*cols || len(v) != cols {
+		panic("prim: GEMV shape mismatch")
+	}
+	y := make([]int64, rows)
+	for r := 0; r < rows; r++ {
+		var acc int64
+		for c := 0; c < cols; c++ {
+			acc += int64(m[r*cols+c]) * int64(v[c])
+		}
+		y[r] = acc
+	}
+	return y
+}
+
+// GEMVDPU partitions matrix rows across cores; the vector is replicated.
+func GEMVDPU(m []int32, rows, cols int, v []int32, cores int) []int64 {
+	y := make([]int64, rows)
+	starts := splitRange(rows, cores)
+	for c := 0; c < cores; c++ {
+		for r := starts[c]; r < starts[c+1]; r++ {
+			var acc int64
+			for k := 0; k < cols; k++ {
+				acc += int64(m[r*cols+k]) * int64(v[k])
+			}
+			y[r] = acc
+		}
+	}
+	return y
+}
+
+// --- SpMV: sparse matrix-vector multiply (CSR) ---
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	Rows   int
+	RowPtr []int32
+	Cols   []int32
+	Vals   []int32
+}
+
+// SpMVHost computes y = A*v.
+func SpMVHost(a CSR, v []int32) []int64 {
+	y := make([]int64, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		var acc int64
+		for i := a.RowPtr[r]; i < a.RowPtr[r+1]; i++ {
+			acc += int64(a.Vals[i]) * int64(v[a.Cols[i]])
+		}
+		y[r] = acc
+	}
+	return y
+}
+
+// SpMVDPU partitions rows across cores (PrIM's 1D row partitioning).
+func SpMVDPU(a CSR, v []int32, cores int) []int64 {
+	y := make([]int64, a.Rows)
+	starts := splitRange(a.Rows, cores)
+	for c := 0; c < cores; c++ {
+		for r := starts[c]; r < starts[c+1]; r++ {
+			var acc int64
+			for i := a.RowPtr[r]; i < a.RowPtr[r+1]; i++ {
+				acc += int64(a.Vals[i]) * int64(v[a.Cols[i]])
+			}
+			y[r] = acc
+		}
+	}
+	return y
+}
+
+// --- TRNS: matrix transpose ---
+
+// TRNSHost transposes a rows x cols row-major matrix.
+func TRNSHost(m []int32, rows, cols int) []int32 {
+	out := make([]int32, len(m))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out[c*rows+r] = m[r*cols+c]
+		}
+	}
+	return out
+}
+
+// TRNSDPU partitions source rows across cores.
+func TRNSDPU(m []int32, rows, cols, cores int) []int32 {
+	out := make([]int32, len(m))
+	starts := splitRange(rows, cores)
+	for core := 0; core < cores; core++ {
+		for r := starts[core]; r < starts[core+1]; r++ {
+			for c := 0; c < cols; c++ {
+				out[c*rows+r] = m[r*cols+c]
+			}
+		}
+	}
+	return out
+}
+
+// --- MLP: multilayer perceptron inference (ReLU, integer weights) ---
+
+// MLPHost evaluates a dense network: layers[i] is rows x cols(prev) in
+// row-major form.
+func MLPHost(input []int32, layers [][]int32, dims []int) []int32 {
+	if len(dims) != len(layers)+1 {
+		panic("prim: MLP dims mismatch")
+	}
+	act := input
+	for l, w := range layers {
+		in, out := dims[l], dims[l+1]
+		next := make([]int32, out)
+		for r := 0; r < out; r++ {
+			var acc int64
+			for c := 0; c < in; c++ {
+				acc += int64(w[r*in+c]) * int64(act[c])
+			}
+			// ReLU with saturation keeps values bounded and deterministic.
+			if acc < 0 {
+				acc = 0
+			}
+			next[r] = int32(acc >> 8)
+		}
+		act = next
+	}
+	return act
+}
+
+// MLPDPU partitions each layer's output neurons across cores, with a host
+// synchronization between layers (as PrIM does).
+func MLPDPU(input []int32, layers [][]int32, dims []int, cores int) []int32 {
+	act := input
+	for l, w := range layers {
+		in, out := dims[l], dims[l+1]
+		next := make([]int32, out)
+		starts := splitRange(out, cores)
+		for core := 0; core < cores; core++ {
+			for r := starts[core]; r < starts[core+1]; r++ {
+				var acc int64
+				for c := 0; c < in; c++ {
+					acc += int64(w[r*in+c]) * int64(act[c])
+				}
+				if acc < 0 {
+					acc = 0
+				}
+				next[r] = int32(acc >> 8)
+			}
+		}
+		act = next
+	}
+	return act
+}
+
+// --- NW: Needleman-Wunsch global alignment score ---
+
+// NWHost computes the alignment score matrix's final cell for sequences a
+// and b (match +1, mismatch -1, gap -1).
+func NWHost(a, b []byte) int32 {
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	for j := range prev {
+		prev[j] = int32(-j)
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = int32(-i)
+		for j := 1; j <= len(b); j++ {
+			d := prev[j-1]
+			if a[i-1] == b[j-1] {
+				d++
+			} else {
+				d--
+			}
+			best := d
+			if v := prev[j] - 1; v > best {
+				best = v
+			}
+			if v := cur[j-1] - 1; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// NWDPU processes the DP matrix in horizontal bands, one band per core in
+// sequence with the carried boundary row — the blocked decomposition
+// PrIM's NW kernel uses (cores within a band work on anti-diagonal tiles;
+// functionally the band order is what matters).
+func NWDPU(a, b []byte, cores int) int32 {
+	starts := splitRange(len(a), cores)
+	boundary := make([]int32, len(b)+1)
+	for j := range boundary {
+		boundary[j] = int32(-j)
+	}
+	for c := 0; c < cores; c++ {
+		lo, hi := starts[c], starts[c+1]
+		prev := boundary
+		cur := make([]int32, len(b)+1)
+		for i := lo + 1; i <= hi; i++ {
+			cur[0] = int32(-i)
+			for j := 1; j <= len(b); j++ {
+				d := prev[j-1]
+				if a[i-1] == b[j-1] {
+					d++
+				} else {
+					d--
+				}
+				best := d
+				if v := prev[j] - 1; v > best {
+					best = v
+				}
+				if v := cur[j-1] - 1; v > best {
+					best = v
+				}
+				cur[j] = best
+			}
+			prev, cur = cur, make([]int32, len(b)+1)
+		}
+		boundary = prev
+	}
+	return boundary[len(b)]
+}
+
+// --- BFS: level-synchronous breadth-first search ---
+
+// Graph is a CSR adjacency structure.
+type Graph struct {
+	N      int
+	RowPtr []int32
+	Adj    []int32
+}
+
+// BFSHost returns per-vertex levels from source (or -1 if unreachable).
+func BFSHost(g Graph, src int) []int32 {
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []int32{int32(src)}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []int32
+		for _, v := range frontier {
+			for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+				u := g.Adj[i]
+				if level[u] < 0 {
+					level[u] = depth
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level
+}
+
+// BFSDPU partitions each level's frontier across cores (vertex-parallel,
+// level-synchronous, as PrIM's BFS).
+func BFSDPU(g Graph, src, cores int) []int32 {
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []int32{int32(src)}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		starts := splitRange(len(frontier), cores)
+		nexts := make([][]int32, cores)
+		for c := 0; c < cores; c++ {
+			for _, v := range frontier[starts[c]:starts[c+1]] {
+				for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+					u := g.Adj[i]
+					if level[u] < 0 {
+						// Benign race in the real kernel; sequential here,
+						// so the claim is deterministic.
+						level[u] = depth
+						nexts[c] = append(nexts[c], u)
+					}
+				}
+			}
+		}
+		frontier = frontier[:0]
+		for _, n := range nexts {
+			frontier = append(frontier, n...)
+		}
+	}
+	return level
+}
+
+// --- TS: time-series motif discovery (brute-force matrix-profile style) ---
+
+// TSHost returns, for each window of length w, the minimal squared
+// Euclidean distance to any non-overlapping window.
+func TSHost(x []int32, w int) []int64 {
+	n := len(x) - w + 1
+	if n <= 1 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		best := int64(1) << 62
+		for j := 0; j < n; j++ {
+			if j >= i-w && j <= i+w {
+				continue // exclusion zone
+			}
+			var d int64
+			for k := 0; k < w; k++ {
+				diff := int64(x[i+k]) - int64(x[j+k])
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// TSDPU partitions the query windows across cores; the series is
+// replicated (as PrIM's TS).
+func TSDPU(x []int32, w, cores int) []int64 {
+	n := len(x) - w + 1
+	if n <= 1 {
+		return nil
+	}
+	out := make([]int64, n)
+	starts := splitRange(n, cores)
+	for c := 0; c < cores; c++ {
+		for i := starts[c]; i < starts[c+1]; i++ {
+			best := int64(1) << 62
+			for j := 0; j < n; j++ {
+				if j >= i-w && j <= i+w {
+					continue
+				}
+				var d int64
+				for k := 0; k < w; k++ {
+					diff := int64(x[i+k]) - int64(x[j+k])
+					d += diff * diff
+				}
+				if d < best {
+					best = d
+				}
+			}
+			out[i] = best
+		}
+	}
+	return out
+}
+
+// randState is a tiny deterministic PRNG (xorshift*) for test inputs.
+type randState uint64
+
+func newRand(seed uint64) *randState {
+	r := randState(seed*2685821657736338717 + 1)
+	return &r
+}
+
+func (r *randState) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = randState(x)
+	return x * 2685821657736338717
+}
+
+// Int32s produces n deterministic pseudo-random values in [0, bound).
+func Int32s(seed uint64, n int, bound int32) []int32 {
+	r := newRand(seed)
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.next() % uint64(bound))
+	}
+	return out
+}
+
+// Int64s produces n deterministic pseudo-random values in [0, bound).
+func Int64s(seed uint64, n int, bound int64) []int64 {
+	r := newRand(seed)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(r.next() % uint64(bound))
+	}
+	return out
+}
+
+// RandomGraph builds a deterministic sparse graph with about deg edges
+// per vertex.
+func RandomGraph(seed uint64, n, deg int) Graph {
+	r := newRand(seed)
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		for d := 0; d < deg; d++ {
+			u := int32(r.next() % uint64(n))
+			adj[v] = append(adj[v], u)
+		}
+	}
+	g := Graph{N: n, RowPtr: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		g.RowPtr[v+1] = g.RowPtr[v] + int32(len(adj[v]))
+		g.Adj = append(g.Adj, adj[v]...)
+	}
+	return g
+}
+
+// RandomCSR builds a deterministic sparse matrix with about nnzPerRow
+// entries per row.
+func RandomCSR(seed uint64, rows, cols, nnzPerRow int) CSR {
+	r := newRand(seed)
+	m := CSR{Rows: rows, RowPtr: make([]int32, rows+1)}
+	for row := 0; row < rows; row++ {
+		used := map[int32]bool{}
+		for i := 0; i < nnzPerRow; i++ {
+			c := int32(r.next() % uint64(cols))
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			m.Cols = append(m.Cols, c)
+			m.Vals = append(m.Vals, int32(r.next()%255)-127)
+		}
+		m.RowPtr[row+1] = int32(len(m.Cols))
+	}
+	return m
+}
+
+var errMismatch = fmt.Errorf("prim: DPU result differs from host reference")

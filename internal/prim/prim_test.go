@@ -1,0 +1,259 @@
+package prim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/system"
+)
+
+// Every workload's DPU-partitioned kernel must match its host reference
+// for a range of core counts, including awkward ones.
+func TestAllKernelsMatchHostReference(t *testing.T) {
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, cores := range []int{1, 2, 3, 16, 61, 512} {
+				if err := w.Verify(cores, 0xC0FFEE); err != nil {
+					t.Errorf("cores=%d: %v", cores, err)
+				}
+			}
+		})
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	ws := Suite()
+	if len(ws) != 16 {
+		t.Fatalf("suite has %d workloads, want 16 (PrIM)", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Error(err)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	for _, name := range []string{"BFS", "BS", "GEMV", "HST-L", "HST-S", "MLP", "NW",
+		"RED", "SCAN-RSS", "SCAN-SSA", "SEL", "SpMV", "TRNS", "TS", "UNI", "VA"} {
+		if !seen[name] {
+			t.Errorf("missing workload %s", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if w, ok := ByName("VA"); !ok || w.Name != "VA" {
+		t.Error("ByName(VA) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+// The average baseline transfer fraction across the suite must track the
+// paper's 63.7% average, and TS must be the kernel-dominated outlier.
+func TestTransferFractionsMatchPaperShape(t *testing.T) {
+	ws := Suite()
+	var sum float64
+	var maxF float64
+	for _, w := range ws {
+		sum += w.BaselineTransferFraction
+		if w.BaselineTransferFraction > maxF {
+			maxF = w.BaselineTransferFraction
+		}
+	}
+	avg := sum / float64(len(ws))
+	if avg < 0.50 || avg > 0.75 {
+		t.Errorf("average transfer fraction = %.3f, want near the paper's 0.637", avg)
+	}
+	ts, _ := ByName("TS")
+	if ts.BaselineTransferFraction > 0.05 {
+		t.Error("TS should be kernel-dominated (paper: transfer is negligible)")
+	}
+	if maxF < 0.90 {
+		t.Error("no workload is transfer-dominated; paper reports up to 99.7%")
+	}
+}
+
+// Kernel cycles must scale linearly with transfer volume and inversely
+// with the transfer fraction.
+func TestKernelCyclesModel(t *testing.T) {
+	w := Workload{Name: "x", InBytesPerCore: 1 << 20, OutBytesPerCore: 1 << 20,
+		BaselineTransferFraction: 0.5}
+	c512 := w.KernelCycles(512)
+	c256 := w.KernelCycles(256)
+	if d := c512 - 2*c256; d < -1 || d > 1 {
+		t.Errorf("KernelCycles not linear in cores: %d vs %d", c512, c256)
+	}
+	w2 := w
+	w2.BaselineTransferFraction = 0.25
+	if w2.KernelCycles(512) <= w.KernelCycles(512) {
+		t.Error("lower transfer fraction should mean more kernel cycles")
+	}
+}
+
+// Scan decompositions: both SSA and RSS must equal the sequential scan
+// for arbitrary inputs (property test).
+func TestScanDecompositionsProperty(t *testing.T) {
+	f := func(raw []int16, coresRaw uint8) bool {
+		x := make([]int64, len(raw))
+		for i, v := range raw {
+			x[i] = int64(v)
+		}
+		cores := int(coresRaw%31) + 1
+		want := ScanHost(x)
+		ssa := ScanSSADPU(x, cores)
+		rss := ScanRSSDPU(x, cores)
+		if len(x) == 0 {
+			return len(ssa) == 0 && len(rss) == 0
+		}
+		for i := range want {
+			if ssa[i] != want[i] || rss[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SEL and UNI must be invariant to the core count (property test).
+func TestSelUniCoreCountInvariance(t *testing.T) {
+	f := func(seed uint64, c1, c2 uint8) bool {
+		x := Int64s(seed, 500, 16)
+		n1, n2 := int(c1%63)+1, int(c2%63)+1
+		s1, s2 := SELDPU(x, 3, n1), SELDPU(x, 3, n2)
+		if len(s1) != len(s2) {
+			return false
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		u1, u2 := UNIDPU(x, n1), UNIDPU(x, n2)
+		if len(u1) != len(u2) {
+			return false
+		}
+		for i := range u1 {
+			if u1[i] != u2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TRNS applied twice is the identity (property, via the kernel itself).
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		const rows, cols = 24, 40
+		m := Int32s(seed, rows*cols, 1<<30)
+		tr := TRNSDPU(m, rows, cols, 7)
+		back := TRNSDPU(tr, cols, rows, 5)
+		for i := range m {
+			if back[i] != m[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// RED equals SCAN's last element plus the last input (cross-kernel
+// consistency).
+func TestRedScanConsistency(t *testing.T) {
+	x := Int64s(7, 1000, 1<<20)
+	total := REDHost(x)
+	scan := ScanHost(x)
+	if got := scan[len(scan)-1] + x[len(x)-1]; got != total {
+		t.Errorf("scan/red inconsistency: %d vs %d", got, total)
+	}
+}
+
+// BFS levels must satisfy the triangle property: adjacent vertices'
+// levels differ by at most 1 (when both reached).
+func TestBFSLevelInvariant(t *testing.T) {
+	g := RandomGraph(3, 4096, 3)
+	level := BFSDPU(g, 0, 64)
+	for v := 0; v < g.N; v++ {
+		if level[v] < 0 {
+			continue
+		}
+		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+			u := g.Adj[i]
+			if level[u] < 0 {
+				t.Fatalf("reached vertex %d has unreached neighbour %d", v, u)
+			}
+			if level[u] > level[v]+1 {
+				t.Fatalf("level jump: %d(level %d) -> %d(level %d)", v, level[v], u, level[u])
+			}
+		}
+	}
+}
+
+// End-to-end smoke: a scaled-down VA run must produce a sane breakdown on
+// both designs, with PIM-MMU shrinking only the transfer phases.
+func TestRunEndToEndVA(t *testing.T) {
+	w, _ := ByName("VA")
+	const scale = 1.0 / 64
+	base := system.MustNew(system.DefaultConfig(system.Base))
+	pb := RunEndToEnd(base, w, scale)
+	mmu := system.MustNew(system.DefaultConfig(system.PIMMMU))
+	pm := RunEndToEnd(mmu, w, scale)
+
+	if pb.Kernel != pm.Kernel {
+		t.Errorf("kernel time differs across designs: %v vs %v", pb.Kernel, pm.Kernel)
+	}
+	if pm.In >= pb.In || pm.Out >= pb.Out {
+		t.Errorf("PIM-MMU transfers not faster: in %v vs %v, out %v vs %v",
+			pm.In, pb.In, pm.Out, pb.Out)
+	}
+	speedup := float64(pb.Total()) / float64(pm.Total())
+	if speedup < 1.2 {
+		t.Errorf("end-to-end speedup = %.2fx, want > 1.2x for a transfer-heavy workload", speedup)
+	}
+	t.Logf("VA end-to-end: base %v (xfer %.0f%%), pim-mmu %v, speedup %.2fx",
+		pb.Total(), pb.TransferFraction()*100, pm.Total(), speedup)
+}
+
+// TS must show almost no end-to-end gain (paper: transfer is not its
+// bottleneck).
+func TestRunEndToEndTSMarginal(t *testing.T) {
+	w, _ := ByName("TS")
+	const scale = 1.0 / 256
+	base := system.MustNew(system.DefaultConfig(system.Base))
+	pb := RunEndToEnd(base, w, scale)
+	mmu := system.MustNew(system.DefaultConfig(system.PIMMMU))
+	pm := RunEndToEnd(mmu, w, scale)
+	speedup := float64(pb.Total()) / float64(pm.Total())
+	t.Logf("TS: base in=%v k=%v out=%v | mmu in=%v k=%v out=%v", pb.In, pb.Kernel, pb.Out, pm.In, pm.Kernel, pm.Out)
+	if speedup > 1.10 {
+		t.Errorf("TS speedup = %.3fx; should be marginal (kernel-bound)", speedup)
+	}
+}
+
+func TestPhaseHelpers(t *testing.T) {
+	p := Phase{In: 30, Kernel: 40, Out: 30}
+	if p.Total() != 100 {
+		t.Errorf("Total = %d", p.Total())
+	}
+	if p.TransferFraction() != 0.6 {
+		t.Errorf("TransferFraction = %v", p.TransferFraction())
+	}
+	if (Phase{}).TransferFraction() != 0 {
+		t.Error("zero phase fraction != 0")
+	}
+}

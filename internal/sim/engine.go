@@ -1,0 +1,130 @@
+// Package sim implements the discrete-event simulation engine that drives
+// every timed component in the repository: DDR4 channel controllers, CPU
+// cores, the OS thread scheduler, the Data Copy Engine, and workload agents.
+//
+// The engine is a single-threaded priority queue of (time, callback) events.
+// Determinism is guaranteed: events at the same timestamp fire in insertion
+// order, so repeated runs of the same configuration produce bit-identical
+// results.
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/clock"
+)
+
+// Event is a scheduled callback. The callback runs exactly once, at its
+// timestamp, with the engine clock already advanced.
+type event struct {
+	at  clock.Picos
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event loop. The zero value is ready to use.
+type Engine struct {
+	now    clock.Picos
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New returns a fresh engine with its clock at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() clock.Picos { return e.now }
+
+// Fired reports how many events have run, a cheap progress/cost metric.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: silently reordering time would corrupt the
+// DRAM timing model.
+func (e *Engine) At(t clock.Picos, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d clock.Picos, fn func()) { e.At(e.now+d, fn) }
+
+// Step fires the single earliest event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, leaving later events
+// queued. The engine clock ends at the last fired event (or deadline if
+// nothing fired beyond it is needed by the caller).
+func (e *Engine) RunUntil(deadline clock.Picos) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile fires events until cond reports false or the queue drains.
+// cond is checked after every event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// Ticker invokes fn every interval until fn reports false. The first
+// invocation happens one interval from now. Tickers are used for periodic
+// observers such as bandwidth samplers and the OS scheduling quantum.
+func (e *Engine) Ticker(interval clock.Picos, fn func(now clock.Picos) bool) {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	var tick func()
+	tick = func() {
+		if fn(e.now) {
+			e.After(interval, tick)
+		}
+	}
+	e.After(interval, tick)
+}

@@ -1,0 +1,356 @@
+// Package system assembles the full simulated machine of Table I — host
+// CPU, LLC, DRAM and PIM device sets behind the HetMap, the PIM device,
+// and the PIM-MMU engine — and provides the experiment-level operations
+// the evaluation and the public API are built from: software (baseline)
+// transfers, DCE transfers, memcpy, co-located contenders, and
+// energy/power accounting.
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/contend"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/pim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xfer"
+)
+
+// Design selects which transfer machinery a System uses, mirroring the
+// paper's ablation design points (Fig. 15).
+type Design int
+
+const (
+	// Base is the unmodified PIM system: software multi-threaded
+	// transfers, locality-centric mapping everywhere.
+	Base Design = iota
+	// BaseD adds the DCE as a conventional DMA engine: offloaded copies,
+	// but sequential descriptors and no HetMap ("Base+D").
+	BaseD
+	// BaseDH adds HetMap's heterogeneous mapping ("Base+D+H").
+	BaseDH
+	// PIMMMU is the full proposal: DCE + HetMap + PIM-MS ("Base+D+H+P").
+	PIMMMU
+)
+
+func (d Design) String() string {
+	switch d {
+	case Base:
+		return "Base"
+	case BaseD:
+		return "Base+D"
+	case BaseDH:
+		return "Base+D+H"
+	case PIMMMU:
+		return "Base+D+H+P"
+	}
+	return "unknown"
+}
+
+// Designs lists the ablation order of Fig. 15.
+func Designs() []Design { return []Design{Base, BaseD, BaseDH, PIMMMU} }
+
+// UsesDCE reports whether the design offloads transfers to the engine.
+func (d Design) UsesDCE() bool { return d != Base }
+
+// Config assembles a full machine.
+type Config struct {
+	Mem      memsys.Config
+	CPU      cpu.Config
+	PIM      pim.Geometry
+	DCE      core.Config
+	Energy   energy.Params
+	Baseline xfer.BaselineConfig
+	Memcpy   xfer.MemcpyConfig
+	Design   Design
+}
+
+// DefaultConfig is the Table I machine with the chosen design point.
+// Mapping and DCE settings are derived from the design.
+func DefaultConfig(d Design) Config {
+	cfg := Config{
+		Mem:      memsys.DefaultConfig(),
+		CPU:      cpu.DefaultConfig(),
+		PIM:      pim.DefaultGeometry(),
+		DCE:      core.DefaultConfig(),
+		Energy:   energy.DefaultParams(),
+		Baseline: xfer.DefaultBaselineConfig(),
+		Memcpy:   xfer.DefaultMemcpyConfig(),
+		Design:   d,
+	}
+	switch d {
+	case Base:
+		cfg.Mem.Mapping = memsys.MapLocalityBoth
+	case BaseD:
+		cfg.Mem.Mapping = memsys.MapLocalityBoth
+		cfg.DCE.UsePIMMS = false
+	case BaseDH:
+		cfg.Mem.Mapping = memsys.MapHetMap
+		cfg.DCE.UsePIMMS = false
+	case PIMMMU:
+		cfg.Mem.Mapping = memsys.MapHetMap
+		cfg.DCE.UsePIMMS = true
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.PIM.Validate(); err != nil {
+		return err
+	}
+	if err := c.DCE.Validate(); err != nil {
+		return err
+	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+	if err := c.Baseline.Validate(); err != nil {
+		return err
+	}
+	return c.Memcpy.Validate()
+}
+
+// System is the assembled machine.
+type System struct {
+	Cfg    Config
+	Eng    *sim.Engine
+	Mem    *memsys.System
+	CPU    *cpu.CPU
+	DCE    *core.Engine
+	Device *pim.Device
+
+	allocNext uint64
+}
+
+// New builds a machine; configuration errors are returned, not panicked,
+// because configs may come from CLI flags.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	ms, err := memsys.New(eng, cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	c := cpu.New(eng, cfg.CPU, ms)
+	dce, err := core.New(eng, ms, cfg.PIM, cfg.DCE)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Cfg:    cfg,
+		Eng:    eng,
+		Mem:    ms,
+		CPU:    c,
+		DCE:    dce,
+		Device: pim.NewDevice(cfg.PIM),
+	}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Alloc reserves a line-aligned buffer in the DRAM region (a bump
+// allocator standing in for malloc; the OS page scatter below it models
+// physical placement). It panics when the region is exhausted.
+func (s *System) Alloc(bytes uint64) uint64 {
+	aligned := (bytes + mem.LineBytes - 1) &^ uint64(mem.LineBytes-1)
+	base := s.allocNext
+	if base+aligned > s.Cfg.Mem.DRAM.Geometry.TotalBytes() {
+		panic(fmt.Sprintf("system: DRAM region exhausted allocating %d bytes", bytes))
+	}
+	s.allocNext += aligned
+	return base
+}
+
+// TransferOp builds the pim_mmu_op for moving bytesPerCore to/from each
+// of the first n cores, sourcing from a freshly allocated contiguous
+// buffer (the Fig. 10 pattern).
+func (s *System) TransferOp(dir core.Direction, n int, bytesPerCore uint64) core.Op {
+	base := s.Alloc(uint64(n) * bytesPerCore)
+	op := core.Op{Dir: dir, BytesPerCore: bytesPerCore}
+	for i := 0; i < n; i++ {
+		op.Cores = append(op.Cores, i)
+		op.DRAMAddrs = append(op.DRAMAddrs, base+uint64(i)*bytesPerCore)
+	}
+	return op
+}
+
+// XferResult is the design-independent result of one transfer.
+type XferResult struct {
+	Design   Design
+	Dir      core.Direction
+	Bytes    uint64
+	Duration clock.Picos
+}
+
+// Throughput is bytes per second.
+func (r XferResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Duration.Seconds()
+}
+
+// StartTransfer launches op on the configured design's machinery and
+// calls onDone at completion. It does not run the engine.
+func (s *System) StartTransfer(op core.Op, onDone func(XferResult)) {
+	start := s.Eng.Now()
+	if s.Cfg.Design.UsesDCE() {
+		s.DCE.Transfer(op, func(r core.Result) {
+			onDone(XferResult{Design: s.Cfg.Design, Dir: op.Dir, Bytes: r.Bytes, Duration: r.Duration()})
+		})
+		return
+	}
+	xfer.RunBaseline(s.CPU, s.Cfg.PIM, op, s.Cfg.Baseline, func(r xfer.Result) {
+		onDone(XferResult{Design: s.Cfg.Design, Dir: op.Dir, Bytes: r.Bytes, Duration: s.Eng.Now() - start})
+	})
+}
+
+// RunTransfer executes op to completion and returns its result.
+func (s *System) RunTransfer(op core.Op) XferResult {
+	var res XferResult
+	done := false
+	s.StartTransfer(op, func(r XferResult) { res = r; done = true })
+	s.Eng.RunWhile(func() bool { return !done })
+	s.drain()
+	return res
+}
+
+// RunMemcpy executes a DRAM->DRAM copy between two fresh buffers.
+func (s *System) RunMemcpy(bytes uint64) XferResult {
+	src := s.Alloc(bytes)
+	dst := s.Alloc(bytes)
+	var out XferResult
+	done := false
+	xfer.RunMemcpy(s.CPU, src, dst, bytes, s.Cfg.Memcpy, func(r xfer.Result) {
+		out = XferResult{Design: s.Cfg.Design, Bytes: r.Bytes, Duration: r.Duration()}
+		done = true
+	})
+	s.Eng.RunWhile(func() bool { return !done })
+	s.drain()
+	return out
+}
+
+// drain runs remaining completion events (posted writes, refreshes in
+// flight) without advancing past quiescence. With live threads (for
+// example contenders) the memory system never goes idle, so draining is
+// skipped — their traffic keeps flowing on the next run anyway.
+func (s *System) drain() {
+	if s.CPU.Runnable() > 0 {
+		return
+	}
+	s.Eng.RunWhile(func() bool { return !s.Mem.Idle() })
+}
+
+// Contenders launches n co-located contender threads built by mk and
+// returns their stopper. The caller stops them when the measured phase
+// completes; stopped threads exit at their next iteration boundary.
+func (s *System) Contenders(n int, mk func(i int, st *contend.Stopper) cpu.Program) *contend.Stopper {
+	st := &contend.Stopper{}
+	for i := 0; i < n; i++ {
+		s.CPU.Spawn(fmt.Sprintf("contender-%d", i), mk(i, st), nil)
+	}
+	return st
+}
+
+// Activity snapshots cumulative counters for energy accounting.
+func (s *System) Activity() energy.Activity {
+	a := energy.Activity{
+		Wall:  s.Eng.Now(),
+		Cores: s.Cfg.CPU.Cores,
+		Ranks: s.Cfg.Mem.DRAM.Geometry.Channels*s.Cfg.Mem.DRAM.Geometry.Ranks +
+			s.Cfg.Mem.PIM.Geometry.Channels*s.Cfg.Mem.PIM.Geometry.Ranks,
+		DCEPresent: s.Cfg.Design.UsesDCE(),
+	}
+	for _, c := range s.CPU.Cores() {
+		a.CoreBusy += c.BusyTime()
+	}
+	for _, st := range s.Mem.DRAM.Stats().Channels {
+		a.Acts += st.Acts
+		a.Reads += st.Reads
+		a.Writes += st.Writes
+		a.Refs += st.Refs
+	}
+	for _, st := range s.Mem.PIM.Stats().Channels {
+		a.Acts += st.Acts
+		a.Reads += st.Reads
+		a.Writes += st.Writes
+		a.Refs += st.Refs
+	}
+	ls := s.Mem.LLC.Stats()
+	a.LLCAccesses = ls.Hits + ls.Misses
+	a.DCELines = s.DCE.BytesMoved / mem.LineBytes * 2 // staged in and out
+	return a
+}
+
+// EnergyOver evaluates the energy model over the interval between two
+// activity snapshots.
+func (s *System) EnergyOver(before, after energy.Activity) energy.Breakdown {
+	return s.Cfg.Energy.Energy(after.Sub(before))
+}
+
+// PowerTrace samples system power and active-core fraction at a fixed
+// window, reproducing the Fig. 4 time series.
+type PowerTrace struct {
+	Watts      *stats.Series
+	ActiveFrac *stats.Series
+	window     clock.Picos
+	samples    int
+}
+
+// SamplePower starts a sampler with the given window; it stops after the
+// stop function is invoked.
+func (s *System) SamplePower(window clock.Picos) (trace *PowerTrace, stop func()) {
+	t := &PowerTrace{
+		Watts:      stats.NewSeries(window),
+		ActiveFrac: stats.NewSeries(window),
+		window:     window,
+	}
+	stopped := false
+	prev := s.Activity()
+	s.Eng.Ticker(window, func(now clock.Picos) bool {
+		if stopped {
+			return false
+		}
+		cur := s.Activity()
+		t.Watts.Add(now-1, s.Cfg.Energy.Power(cur.Sub(prev)))
+		t.ActiveFrac.Add(now-1, float64(s.CPU.ActiveCores())/float64(s.Cfg.CPU.Cores))
+		t.samples++
+		prev = cur
+		return true
+	})
+	return t, func() { stopped = true }
+}
+
+// Samples reports how many windows the trace recorded.
+func (t *PowerTrace) Samples() int { return t.samples }
+
+// ServerConfig models the paper's characterization server (Section V):
+// conventional DIMMs at DDR4-3200 alongside UPMEM DIMMs at DDR4-2400 —
+// the asymmetric-speed-grade deployment commercial PIM requires. (The
+// real server has 3+3 channels; binary addressing keeps ours at 4+4,
+// which only scales the aggregate bandwidth.)
+func ServerConfig(d Design) Config {
+	cfg := DefaultConfig(d)
+	cfg.Mem.DRAM.Timing = dram.DDR43200()
+	return cfg
+}

@@ -1,0 +1,241 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/contend"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+)
+
+// smallCfg shrinks the machine for fast tests.
+func smallCfg(d Design) Config {
+	cfg := DefaultConfig(d)
+	cfg.Mem.DRAM.Geometry.Channels = 2
+	cfg.Mem.DRAM.Geometry.Ranks = 1
+	cfg.Mem.PIM.Geometry.Channels = 2
+	cfg.Mem.PIM.Geometry.Ranks = 1
+	cfg.PIM.DRAM.Channels = 2
+	cfg.PIM.DRAM.Ranks = 1
+	return cfg
+}
+
+func TestDesignConfigDerivation(t *testing.T) {
+	cases := []struct {
+		d        Design
+		mapping  memsys.MappingMode
+		usePIMMS bool
+	}{
+		{Base, memsys.MapLocalityBoth, true}, // DCE unused for Base
+		{BaseD, memsys.MapLocalityBoth, false},
+		{BaseDH, memsys.MapHetMap, false},
+		{PIMMMU, memsys.MapHetMap, true},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig(c.d)
+		if cfg.Mem.Mapping != c.mapping {
+			t.Errorf("%v: mapping = %v, want %v", c.d, cfg.Mem.Mapping, c.mapping)
+		}
+		if c.d != Base && cfg.DCE.UsePIMMS != c.usePIMMS {
+			t.Errorf("%v: UsePIMMS = %v, want %v", c.d, cfg.DCE.UsePIMMS, c.usePIMMS)
+		}
+	}
+	for _, d := range Designs() {
+		if err := DefaultConfig(d).Validate(); err != nil {
+			t.Errorf("%v: default config invalid: %v", d, err)
+		}
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	want := map[Design]string{Base: "Base", BaseD: "Base+D",
+		BaseDH: "Base+D+H", PIMMMU: "Base+D+H+P", Design(9): "unknown"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("Design(%d).String() = %q, want %q", int(d), d.String(), s)
+		}
+	}
+	if Base.UsesDCE() || !PIMMMU.UsesDCE() || !BaseD.UsesDCE() {
+		t.Error("UsesDCE wrong")
+	}
+}
+
+func TestAllocBumpAndExhaustion(t *testing.T) {
+	s := MustNew(smallCfg(PIMMMU))
+	a := s.Alloc(100) // rounds to 128
+	b := s.Alloc(64)
+	if b != a+128 {
+		t.Errorf("allocations not line-aligned bump: 0x%x then 0x%x", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("region exhaustion did not panic")
+		}
+	}()
+	s.Alloc(1 << 60)
+}
+
+func TestRunTransferBothDesignsAndDirections(t *testing.T) {
+	for _, d := range []Design{Base, PIMMMU} {
+		for _, dir := range []core.Direction{core.DRAMToPIM, core.PIMToDRAM} {
+			s := MustNew(smallCfg(d))
+			res := s.RunTransfer(s.TransferOp(dir, 32, 2048))
+			if res.Bytes != 32*2048 {
+				t.Errorf("%v %v: bytes = %d", d, dir, res.Bytes)
+			}
+			if res.Duration <= 0 || res.Throughput() <= 0 {
+				t.Errorf("%v %v: degenerate result %+v", d, dir, res)
+			}
+			if res.Design != d || res.Dir != dir {
+				t.Errorf("%v %v: result tagged %v %v", d, dir, res.Design, res.Dir)
+			}
+		}
+	}
+}
+
+// The ablation ordering at a bandwidth-bound size: PIM-MMU > Base >
+// Base+D (vanilla DMA loses to software, Fig. 15).
+func TestAblationOrdering(t *testing.T) {
+	const per = 8 << 10
+	tput := func(d Design) float64 {
+		s := MustNew(smallCfg(d))
+		return s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per)).Throughput()
+	}
+	base := tput(Base)
+	baseD := tput(BaseD)
+	mmu := tput(PIMMMU)
+	if mmu <= base {
+		t.Errorf("PIM-MMU %.1f <= Base %.1f GB/s", mmu/1e9, base/1e9)
+	}
+	if baseD >= base {
+		t.Errorf("Base+D %.1f >= Base %.1f GB/s; vanilla DMA should lose", baseD/1e9, base/1e9)
+	}
+}
+
+func TestRunMemcpy(t *testing.T) {
+	s := MustNew(smallCfg(PIMMMU))
+	res := s.RunMemcpy(1 << 20)
+	if res.Bytes != 1<<20 || res.Throughput() <= 0 {
+		t.Errorf("memcpy result %+v", res)
+	}
+}
+
+func TestActivityAccumulates(t *testing.T) {
+	s := MustNew(smallCfg(Base))
+	a0 := s.Activity()
+	if a0.Reads+a0.Writes != 0 {
+		t.Error("fresh system has DRAM activity")
+	}
+	s.RunTransfer(s.TransferOp(core.DRAMToPIM, 32, 4096))
+	a1 := s.Activity()
+	d := a1.Sub(a0)
+	if d.Reads == 0 || d.Writes == 0 || d.Acts == 0 {
+		t.Errorf("transfer produced no command activity: %+v", d)
+	}
+	if d.CoreBusy <= 0 {
+		t.Error("baseline transfer consumed no core time")
+	}
+	if d.Wall <= 0 {
+		t.Error("no wall time elapsed")
+	}
+	b := s.EnergyOver(a0, a1)
+	if b.Total() <= 0 || b.CoreDynamic <= 0 {
+		t.Errorf("energy breakdown degenerate: %+v", b)
+	}
+}
+
+func TestDCEActivityHasNoCoreTime(t *testing.T) {
+	s := MustNew(smallCfg(PIMMMU))
+	a0 := s.Activity()
+	s.RunTransfer(s.TransferOp(core.DRAMToPIM, 32, 4096))
+	d := s.Activity().Sub(a0)
+	if d.CoreBusy != 0 {
+		t.Errorf("DCE transfer consumed %v core time; offload should be free", d.CoreBusy)
+	}
+	if d.DCELines == 0 {
+		t.Error("DCE transfer recorded no staged lines")
+	}
+}
+
+func TestPowerTraceSamples(t *testing.T) {
+	s := MustNew(smallCfg(Base))
+	trace, stop := s.SamplePower(20 * clock.Microsecond)
+	s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), 4096))
+	stop()
+	if trace.Samples() == 0 {
+		t.Fatal("power trace recorded nothing")
+	}
+	mid := trace.Watts.Bucket(trace.Watts.Len() / 2)
+	if mid < 20 || mid > 120 {
+		t.Errorf("mid-transfer power %.1f W implausible", mid)
+	}
+	frac := trace.ActiveFrac.Bucket(trace.ActiveFrac.Len() / 2)
+	if frac < 0.9 {
+		t.Errorf("active-core fraction %.2f during baseline transfer, want ~1", frac)
+	}
+}
+
+func TestContendersRunAndStop(t *testing.T) {
+	s := MustNew(smallCfg(PIMMMU))
+	base := s.Alloc(4 * (16 << 10))
+	st := s.Contenders(4, func(i int, st *contend.Stopper) cpu.Program {
+		return contend.Spin(st, base+uint64(i)*(16<<10))
+	})
+	if s.CPU.Runnable() != 4 {
+		t.Errorf("Runnable = %d, want 4", s.CPU.Runnable())
+	}
+	res := s.RunTransfer(s.TransferOp(core.DRAMToPIM, 32, 2048))
+	if res.Bytes == 0 {
+		t.Fatal("transfer under contention failed")
+	}
+	st.Stop()
+	s.Eng.Run()
+	if s.CPU.Runnable() != 0 {
+		t.Errorf("contenders alive after stop: %d", s.CPU.Runnable())
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := DefaultConfig(PIMMMU)
+	cfg.CPU.Cores = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("Cores=0 accepted")
+	}
+	cfg = DefaultConfig(PIMMMU)
+	cfg.Mem.DRAM.Geometry.Channels = 3
+	if _, err := New(cfg); err == nil {
+		t.Error("3 channels accepted")
+	}
+}
+
+func TestServerConfigAsymmetricGrades(t *testing.T) {
+	cfg := ServerConfig(PIMMMU)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mem.DRAM.Timing.Clock == cfg.Mem.PIM.Timing.Clock {
+		t.Error("server config should run DRAM faster than PIM DIMMs")
+	}
+	// The faster DRAM grade must speed up the DRAM-bound read half of a
+	// DCE transfer relative to the symmetric config.
+	sym := MustNew(smallCfgFrom(DefaultConfig(PIMMMU)))
+	asym := MustNew(smallCfgFrom(ServerConfig(PIMMMU)))
+	rs := sym.RunTransfer(sym.TransferOp(core.DRAMToPIM, 32, 16<<10))
+	ra := asym.RunTransfer(asym.TransferOp(core.DRAMToPIM, 32, 16<<10))
+	if ra.Throughput() < rs.Throughput()*0.95 {
+		t.Errorf("DDR4-3200 DRAM made the transfer slower: %.1f vs %.1f GB/s",
+			ra.Throughput()/1e9, rs.Throughput()/1e9)
+	}
+}
+
+func smallCfgFrom(cfg Config) Config {
+	cfg.Mem.DRAM.Geometry.Channels = 2
+	cfg.Mem.DRAM.Geometry.Ranks = 1
+	cfg.Mem.PIM.Geometry.Channels = 2
+	cfg.Mem.PIM.Geometry.Ranks = 1
+	cfg.PIM.DRAM.Channels = 2
+	cfg.PIM.DRAM.Ranks = 1
+	return cfg
+}

@@ -1,0 +1,121 @@
+package xfer
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// MemcpyConfig parameterizes the multi-threaded AVX-512 DRAM->DRAM copy
+// microbenchmark (Section V): each thread streams a contiguous slice of
+// the source with vector loads and non-temporal (_mm512_stream_si512)
+// stores.
+type MemcpyConfig struct {
+	Threads int
+	// GroupLines is how many lines a thread reads before the barrier and
+	// store burst (8 x 64 B = one unrolled AVX loop iteration).
+	GroupLines int
+	// LoopOverheadCycles is per-group bookkeeping.
+	LoopOverheadCycles int64
+}
+
+// DefaultMemcpyConfig matches the paper's custom microbenchmark.
+func DefaultMemcpyConfig() MemcpyConfig {
+	return MemcpyConfig{Threads: 8, GroupLines: 8, LoopOverheadCycles: 8}
+}
+
+// Validate reports configuration errors.
+func (c MemcpyConfig) Validate() error {
+	if c.Threads <= 0 || c.GroupLines <= 0 {
+		return fmt.Errorf("xfer: invalid memcpy config %+v", c)
+	}
+	return nil
+}
+
+// memcpyProg streams [src, src+bytes) to [dst, dst+bytes).
+type memcpyProg struct {
+	cfg   MemcpyConfig
+	src   uint64
+	dst   uint64
+	bytes uint64
+
+	off   uint64
+	phase int
+	i     int
+}
+
+// Next implements cpu.Program.
+func (p *memcpyProg) Next() (cpu.Op, bool) {
+	for {
+		if p.off >= p.bytes {
+			return cpu.Op{}, false
+		}
+		group := uint64(p.cfg.GroupLines * mem.LineBytes)
+		if p.bytes-p.off < group {
+			group = p.bytes - p.off
+		}
+		lines := int(group / mem.LineBytes)
+		switch p.phase {
+		case 0: // loads
+			if p.i < lines {
+				a := p.src + p.off + uint64(p.i*mem.LineBytes)
+				p.i++
+				return cpu.Op{Kind: cpu.OpLoad, Addr: a}, true
+			}
+			p.phase = 1
+		case 1:
+			p.phase = 2
+			return cpu.Op{Kind: cpu.OpBarrier}, true
+		case 2:
+			p.phase = 3
+			p.i = 0
+			return cpu.Op{Kind: cpu.OpCompute, Cycles: p.cfg.LoopOverheadCycles}, true
+		case 3: // non-temporal stores
+			if p.i < lines {
+				a := p.dst + p.off + uint64(p.i*mem.LineBytes)
+				p.i++
+				return cpu.Op{Kind: cpu.OpStore, Addr: a, NC: true}, true
+			}
+			p.i = 0
+			p.phase = 0
+			p.off += group
+		}
+	}
+}
+
+// RunMemcpy launches the multi-threaded copy of bytes from src to dst and
+// invokes onDone when the last worker exits. The range is split into
+// contiguous per-thread slices, exactly like a parallel memcpy.
+func RunMemcpy(c *cpu.CPU, src, dst, bytes uint64, cfg MemcpyConfig, onDone func(Result)) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if bytes == 0 || bytes%mem.LineBytes != 0 {
+		panic(fmt.Sprintf("xfer: memcpy size %d not a positive multiple of %d", bytes, mem.LineBytes))
+	}
+	lines := bytes / mem.LineBytes
+	n := uint64(cfg.Threads)
+	if n > lines {
+		n = lines
+	}
+	start := c.Now()
+	remaining := int(n)
+	perThread := lines / n
+	extra := lines % n
+	off := uint64(0)
+	for t := uint64(0); t < n; t++ {
+		sz := perThread
+		if t < extra {
+			sz++
+		}
+		p := &memcpyProg{cfg: cfg, src: src + off, dst: dst + off, bytes: sz * mem.LineBytes}
+		off += sz * mem.LineBytes
+		c.Spawn(fmt.Sprintf("memcpy-%d", t), p, func() {
+			remaining--
+			if remaining == 0 && onDone != nil {
+				onDone(Result{Start: start, End: c.Now(), Bytes: bytes})
+			}
+		})
+	}
+}

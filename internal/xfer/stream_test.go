@@ -1,0 +1,89 @@
+package xfer
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+func TestStreamMovesAllBytes(t *testing.T) {
+	r := newRig(memsys.MapHetMap)
+	cfg := DefaultStreamConfig()
+	const lines = 4096
+	var res Result
+	done := false
+	RunStream(r.cpu, 0, lines, cfg, func(x Result) { res = x; done = true })
+	r.eng.RunWhile(func() bool { return !done })
+	want := uint64(cfg.Threads * lines * 64)
+	if res.Bytes != want {
+		t.Fatalf("stream bytes = %d, want %d", res.Bytes, want)
+	}
+	if got := r.sys.DRAM.Stats().BytesRead(); got != want {
+		t.Errorf("DRAM read %d bytes, want %d", got, want)
+	}
+}
+
+func TestStreamIsReadOnly(t *testing.T) {
+	r := newRig(memsys.MapHetMap)
+	done := false
+	RunStream(r.cpu, 0, 512, DefaultStreamConfig(), func(Result) { done = true })
+	r.eng.RunWhile(func() bool { return !done })
+	if got := r.sys.DRAM.Stats().BytesWritten(); got != 0 {
+		t.Errorf("read-only stream wrote %d bytes", got)
+	}
+}
+
+// A strided stream must touch strided addresses, reading the same byte
+// count but spanning stride x the footprint.
+func TestStreamStride(t *testing.T) {
+	r := newRig(memsys.MapHetMap)
+	cfg := DefaultStreamConfig()
+	cfg.Threads = 1
+	cfg.StrideLines = 4
+	done := false
+	var res Result
+	RunStream(r.cpu, 0, 256, cfg, func(x Result) { res = x; done = true })
+	r.eng.RunWhile(func() bool { return !done })
+	if res.Bytes != 256*64 {
+		t.Errorf("strided stream bytes = %d", res.Bytes)
+	}
+}
+
+// MLP mapping must beat locality mapping on this benchmark — the Fig. 8
+// property at the engine level.
+func TestStreamMappingSensitivity(t *testing.T) {
+	run := func(mode memsys.MappingMode) float64 {
+		r := newRig(mode)
+		done := false
+		var res Result
+		RunStream(r.cpu, 0, 8192, DefaultStreamConfig(), func(x Result) { res = x; done = true })
+		r.eng.RunWhile(func() bool { return !done })
+		return res.Throughput()
+	}
+	loc := run(memsys.MapLocalityBoth)
+	mlp := run(memsys.MapHetMap)
+	if mlp < 1.5*loc {
+		t.Errorf("MLP stream %.1f GB/s not well above locality %.1f GB/s", mlp/1e9, loc/1e9)
+	}
+}
+
+func TestStreamConfigValidate(t *testing.T) {
+	if err := DefaultStreamConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultStreamConfig()
+	bad.StrideLines = 0
+	if bad.Validate() == nil {
+		t.Error("StrideLines=0 accepted")
+	}
+}
+
+func TestStreamZeroLinesPanics(t *testing.T) {
+	r := newRig(memsys.MapHetMap)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-length stream did not panic")
+		}
+	}()
+	RunStream(r.cpu, 0, 0, DefaultStreamConfig(), nil)
+}

@@ -1,0 +1,244 @@
+// Package xfer implements the software data-transfer paths of the paper:
+// the baseline multi-threaded dpu_push_xfer engine that UPMEM's runtime
+// library uses for DRAM<->PIM copies (Section II-C), and the AVX-512
+// multi-threaded DRAM->DRAM memcpy microbenchmark (Section V). Both run
+// as thread programs on the internal/cpu model, so their throughput is
+// shaped by exactly the effects the paper root-causes: limited per-core
+// outstanding requests, OS round-robin scheduling, thread herding across
+// channels, and the three-stage read -> transpose -> write pipeline.
+package xfer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/pim"
+	"repro/internal/transpose"
+)
+
+// Result reports a completed software transfer.
+type Result struct {
+	Start clock.Picos
+	End   clock.Picos
+	Bytes uint64
+}
+
+// Duration is the wall-clock time of the transfer.
+func (r Result) Duration() clock.Picos { return r.End - r.Start }
+
+// Throughput is bytes per second.
+func (r Result) Throughput() float64 {
+	d := r.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / d.Seconds()
+}
+
+// BaselineConfig parameterizes the software transfer engine.
+type BaselineConfig struct {
+	// Threads is the runtime library's worker-thread count (the paper's
+	// Section V configures 8 concurrent transfer threads).
+	Threads int
+	// TransposeCycles is the AVX software transpose cost per 64-byte
+	// block.
+	TransposeCycles int64
+	// LoopOverheadCycles is the per-group loop/address bookkeeping cost.
+	LoopOverheadCycles int64
+}
+
+// DefaultBaselineConfig matches the paper's baseline.
+func DefaultBaselineConfig() BaselineConfig {
+	return BaselineConfig{
+		Threads:            8,
+		TransposeCycles:    transpose.SWCostCyclesPerBlock,
+		LoopOverheadCycles: 8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c BaselineConfig) Validate() error {
+	if c.Threads <= 0 {
+		return fmt.Errorf("xfer: Threads=%d must be positive", c.Threads)
+	}
+	if c.TransposeCycles < 0 || c.LoopOverheadCycles < 0 {
+		return fmt.Errorf("xfer: negative cycle costs")
+	}
+	return nil
+}
+
+// bankJob is one thread work unit: a PIM bank together with the DRAM-side
+// arrays of the cores (lanes) it hosts. The runtime works bank-at-a-time
+// because the chips of a DIMM split every burst across lanes: one 64-byte
+// PIM line carries LaneBytes for each lane, so the transpose gathers all
+// lanes of a bank into whole bursts (Fig. 3).
+type bankJob struct {
+	bankLinear int
+	rep        int // representative core (lowest lane)
+	srcs       []uint64
+	mramOff    uint64
+	bytesPer   uint64
+}
+
+// buildJobs groups an op's cores into bank jobs sorted by bank-linear ID.
+// Bank-linear IDs are channel-major, which is what produces the thread
+// herding of Fig. 6(a): every thread's early jobs live in channel 0.
+func buildJobs(g pim.Geometry, op core.Op) []bankJob {
+	byBank := map[int]*bankJob{}
+	for i, c := range op.Cores {
+		bl := g.BankLinear(c)
+		j := byBank[bl]
+		if j == nil {
+			j = &bankJob{bankLinear: bl, rep: c, mramOff: op.MRAMOffset, bytesPer: op.BytesPerCore}
+			byBank[bl] = j
+		}
+		if g.Loc(c).Lane < g.Loc(j.rep).Lane {
+			j.rep = c
+		}
+		j.srcs = append(j.srcs, op.DRAMAddrs[i])
+	}
+	jobs := make([]bankJob, 0, len(byBank))
+	for _, j := range byBank {
+		jobs = append(jobs, *j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].bankLinear < jobs[b].bankLinear })
+	return jobs
+}
+
+// baselineProg is one transfer thread's instruction stream: for each
+// assigned bank, for each line group, read one line per lane from the
+// DRAM side, wait, transpose, and write the gathered lines to the PIM
+// side (or the reverse for PIM->DRAM).
+type baselineProg struct {
+	g      pim.Geometry
+	dir    core.Direction
+	cfg    BaselineConfig
+	jobs   []bankJob
+	jobIdx int
+	group  uint64 // current line group within the job
+	groups uint64 // groups in current job
+	phase  int    // 0: issue reads, 1: barrier, 2: compute, 3: issue writes
+	lane   int
+}
+
+func newBaselineProg(g pim.Geometry, dir core.Direction, cfg BaselineConfig, jobs []bankJob) *baselineProg {
+	p := &baselineProg{g: g, dir: dir, cfg: cfg, jobs: jobs}
+	p.enterJob()
+	return p
+}
+
+func (p *baselineProg) enterJob() {
+	if p.jobIdx < len(p.jobs) {
+		j := p.jobs[p.jobIdx]
+		p.groups = j.bytesPer / mem.LineBytes
+		p.group = 0
+		p.phase = 0
+		p.lane = 0
+	}
+}
+
+// dramAddr is the DRAM-side line address for the current group and lane.
+func (p *baselineProg) dramAddr(j bankJob) uint64 {
+	return j.srcs[p.lane] + p.group*mem.LineBytes
+}
+
+// pimAddr is the PIM-side line address: line group g of the bank spans
+// lanes lines [g*L, (g+1)*L).
+func (p *baselineProg) pimAddr(j bankJob) uint64 {
+	lines := p.group*uint64(len(j.srcs)) + uint64(p.lane)
+	return p.g.BankLineAddr(j.rep, j.mramOff) + lines*mem.LineBytes
+}
+
+// Next implements cpu.Program.
+func (p *baselineProg) Next() (cpu.Op, bool) {
+	for {
+		if p.jobIdx >= len(p.jobs) {
+			return cpu.Op{}, false
+		}
+		j := p.jobs[p.jobIdx]
+		lanes := len(j.srcs)
+		switch p.phase {
+		case 0: // read one line per lane
+			if p.lane < lanes {
+				var addr uint64
+				nc := false
+				if p.dir == core.DRAMToPIM {
+					addr = p.dramAddr(j)
+				} else {
+					addr = p.pimAddr(j)
+					nc = true
+				}
+				p.lane++
+				return cpu.Op{Kind: cpu.OpLoad, Addr: addr, NC: nc}, true
+			}
+			p.phase = 1
+		case 1: // wait for the group's reads
+			p.phase = 2
+			return cpu.Op{Kind: cpu.OpBarrier}, true
+		case 2: // software transpose of the group
+			p.phase = 3
+			p.lane = 0
+			cycles := p.cfg.TransposeCycles*int64(lanes) + p.cfg.LoopOverheadCycles
+			return cpu.Op{Kind: cpu.OpCompute, Cycles: cycles}, true
+		case 3: // write one line per lane
+			if p.lane < lanes {
+				var addr uint64
+				nc := true // AVX streaming stores in both directions
+				if p.dir == core.DRAMToPIM {
+					addr = p.pimAddr(j)
+				} else {
+					addr = p.dramAddr(j)
+				}
+				p.lane++
+				return cpu.Op{Kind: cpu.OpStore, Addr: addr, NC: nc}, true
+			}
+			// Next group (stores drain asynchronously through the WC
+			// buffers; the next group's loads overlap them, as the
+			// out-of-order core would).
+			p.lane = 0
+			p.group++
+			p.phase = 0
+			if p.group >= p.groups {
+				p.jobIdx++
+				p.enterJob()
+			}
+		}
+	}
+}
+
+// RunBaseline launches the multi-threaded software transfer and invokes
+// onDone when the last worker thread exits. Threads are assigned bank
+// jobs round-robin (thread i takes banks i, i+T, ...), matching the
+// UPMEM runtime's work division.
+func RunBaseline(c *cpu.CPU, g pim.Geometry, op core.Op, cfg BaselineConfig, onDone func(Result)) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if err := op.Validate(g); err != nil {
+		panic(err)
+	}
+	jobs := buildJobs(g, op)
+	nThreads := cfg.Threads
+	if nThreads > len(jobs) {
+		nThreads = len(jobs)
+	}
+	start := c.Now()
+	remaining := nThreads
+	for t := 0; t < nThreads; t++ {
+		var mine []bankJob
+		for i := t; i < len(jobs); i += cfg.Threads {
+			mine = append(mine, jobs[i])
+		}
+		prog := newBaselineProg(g, op.Dir, cfg, mine)
+		c.Spawn(fmt.Sprintf("xfer-%d", t), prog, func() {
+			remaining--
+			if remaining == 0 && onDone != nil {
+				onDone(Result{Start: start, End: c.Now(), Bytes: op.Bytes()})
+			}
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package pimmmu_test
+
+import (
+	"bytes"
+	"testing"
+
+	pimmmu "repro"
+)
+
+// small returns a config scaled down for fast tests: 2 channels, 1 rank
+// (=> 128 cores).
+func small(d pimmmu.Design) pimmmu.Config {
+	c := pimmmu.Default(d)
+	c.Channels = 2
+	c.RanksPerChannel = 1
+	return c
+}
+
+func TestFunctionalRoundTrip(t *testing.T) {
+	for _, d := range []pimmmu.Design{pimmmu.Base, pimmmu.PIMMMU} {
+		s := pimmmu.MustNew(small(d))
+		cores := s.AllCores()[:16]
+		const per = 4096
+		in := s.Malloc(len(cores) * per)
+		for i := range in.Data {
+			in.Data[i] = byte(i*7 + 3)
+		}
+		if _, err := s.ToPIM(in, cores, per, 0); err != nil {
+			t.Fatalf("%v ToPIM: %v", d, err)
+		}
+		// Every core's MRAM must hold its slice.
+		for i, c := range cores {
+			want := in.Data[i*per : (i+1)*per]
+			if got := s.MRAM(c, 0, per); !bytes.Equal(got, want) {
+				t.Fatalf("%v core %d MRAM mismatch", d, c)
+			}
+		}
+		out := s.Malloc(len(cores) * per)
+		if _, err := s.FromPIM(out, cores, per, 0); err != nil {
+			t.Fatalf("%v FromPIM: %v", d, err)
+		}
+		if !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("%v round trip corrupted data", d)
+		}
+	}
+}
+
+func TestPIMMMUFasterThanBase(t *testing.T) {
+	const per = 16 << 10
+	run := func(d pimmmu.Design) float64 {
+		s := pimmmu.MustNew(small(d))
+		buf := s.Malloc(s.NumCores() * per)
+		r, err := s.ToPIM(buf, s.AllCores(), per, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.GBps()
+	}
+	base := run(pimmmu.Base)
+	mmu := run(pimmmu.PIMMMU)
+	if mmu < 2*base {
+		t.Errorf("PIM-MMU %.1f GB/s vs base %.1f GB/s; want > 2x", mmu, base)
+	}
+}
+
+func TestKernelAdvancesTime(t *testing.T) {
+	s := pimmmu.MustNew(small(pimmmu.PIMMMU))
+	before := s.Elapsed()
+	d := s.RunKernel(350_000) // 1 ms at 350 MHz
+	if d <= 0 {
+		t.Fatal("kernel duration not positive")
+	}
+	if s.Elapsed()-before < d {
+		t.Error("simulated clock did not advance by the kernel time")
+	}
+}
+
+func TestWriteMRAMThenFromPIM(t *testing.T) {
+	s := pimmmu.MustNew(small(pimmmu.PIMMMU))
+	cores := []int{0, 5, 9}
+	const per = 256
+	for i, c := range cores {
+		data := bytes.Repeat([]byte{byte(i + 1)}, per)
+		s.WriteMRAM(c, 0, data)
+	}
+	out := s.Malloc(len(cores) * per)
+	if _, err := s.FromPIM(out, cores, per, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cores {
+		if out.Data[i*per] != byte(i+1) || out.Data[(i+1)*per-1] != byte(i+1) {
+			t.Errorf("core %d result not retrieved", cores[i])
+		}
+	}
+}
+
+func TestMemcpyResult(t *testing.T) {
+	s := pimmmu.MustNew(small(pimmmu.PIMMMU))
+	r := s.Memcpy(1 << 20)
+	if r.Bytes != 1<<20 || r.Duration <= 0 || r.GBps() <= 0 {
+		t.Errorf("memcpy result = %+v", r)
+	}
+}
+
+func TestEnergyReport(t *testing.T) {
+	s := pimmmu.MustNew(small(pimmmu.Base))
+	buf := s.Malloc(s.NumCores() * 4096)
+	r, _ := s.ToPIM(buf, s.AllCores(), 4096, 0)
+	rep := s.Energy(r.Bytes)
+	if rep.TotalJoules <= 0 || rep.AvgWatts <= 0 || rep.BytesPerJoule <= 0 {
+		t.Errorf("energy report = %+v", rep)
+	}
+	if rep.StaticJoules >= rep.TotalJoules {
+		t.Error("static energy exceeds total")
+	}
+	if rep.AvgWatts < 10 || rep.AvgWatts > 120 {
+		t.Errorf("average power %.1f W implausible", rep.AvgWatts)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := pimmmu.MustNew(small(pimmmu.PIMMMU))
+	const per = 4096
+	buf := s.Malloc(s.NumCores() * per)
+	s.ToPIM(buf, s.AllCores(), per, 0)
+	st := s.Stats()
+	want := uint64(s.NumCores()) * per
+	if st.PIMWriteBytes != want {
+		t.Errorf("PIM write bytes = %d, want %d", st.PIMWriteBytes, want)
+	}
+	if st.DRAMReadBytes != want {
+		t.Errorf("DRAM read bytes = %d, want %d", st.DRAMReadBytes, want)
+	}
+	if st.PIMRowHitRate < 0.5 {
+		t.Errorf("PIM row hit rate %.2f too low for PIM-MS", st.PIMRowHitRate)
+	}
+	if len(st.PerPIMChannelWr) != 2 {
+		t.Errorf("per-channel stats = %v", st.PerPIMChannelWr)
+	}
+}
+
+func TestContentionAPI(t *testing.T) {
+	s := pimmmu.MustNew(small(pimmmu.PIMMMU))
+	stopC := s.CompeteCompute(4)
+	stopM, err := s.CompeteMemory(2, pimmmu.IntensityHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := s.Malloc(s.NumCores() * 1024)
+	if _, err := s.ToPIM(buf, s.AllCores(), 1024, 0); err != nil {
+		t.Fatal(err)
+	}
+	stopC()
+	stopM()
+	if _, err := s.CompeteMemory(1, "bogus"); err == nil {
+		t.Error("bogus intensity accepted")
+	}
+}
+
+// Compute contention must slow the baseline substantially more than the
+// PIM-MMU (Fig. 13a).
+func TestComputeContentionSensitivity(t *testing.T) {
+	const per = 8 << 10
+	run := func(d pimmmu.Design, contenders int) float64 {
+		s := pimmmu.MustNew(small(d))
+		var stop func()
+		if contenders > 0 {
+			stop = s.CompeteCompute(contenders)
+		}
+		buf := s.Malloc(s.NumCores() * per)
+		r, err := s.ToPIM(buf, s.AllCores(), per, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stop != nil {
+			stop()
+		}
+		return float64(r.Duration)
+	}
+	baseSlow := run(pimmmu.Base, 16) / run(pimmmu.Base, 0)
+	mmuSlow := run(pimmmu.PIMMMU, 16) / run(pimmmu.PIMMMU, 0)
+	t.Logf("16 compute contenders: base %.2fx slower, pim-mmu %.2fx slower", baseSlow, mmuSlow)
+	if baseSlow < 1.5 {
+		t.Errorf("baseline slowdown %.2fx; expected heavy sensitivity to core contention", baseSlow)
+	}
+	if mmuSlow > 1.2 {
+		t.Errorf("PIM-MMU slowdown %.2fx; should be nearly insensitive", mmuSlow)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := pimmmu.MustNew(small(pimmmu.PIMMMU))
+	if _, err := s.ToPIM(nil, []int{0}, 64, 0); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	tiny := s.Malloc(64)
+	if _, err := s.ToPIM(tiny, []int{0, 1}, 64, 0); err == nil {
+		t.Error("undersized buffer accepted")
+	}
+	if _, err := s.ToPIM(tiny, []int{0}, 63, 0); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	if _, err := New(pimmmu.Config{Design: pimmmu.PIMMMU, Channels: 3}); err == nil {
+		t.Error("non-power-of-two channels accepted")
+	}
+}
+
+// New is re-declared here to exercise the error-returning constructor
+// without the Must wrapper.
+func New(c pimmmu.Config) (*pimmmu.System, error) { return pimmmu.New(c) }
+
+func TestDefaults(t *testing.T) {
+	s := pimmmu.MustNew(pimmmu.Default(pimmmu.PIMMMU))
+	if s.NumCores() != 512 {
+		t.Errorf("default cores = %d, want 512 (Table I)", s.NumCores())
+	}
+	if s.MRAMBytes() != 64<<20 {
+		t.Errorf("MRAM = %d, want 64 MiB", s.MRAMBytes())
+	}
+	if s.Design() != pimmmu.PIMMMU {
+		t.Error("design not preserved")
+	}
+	if len(s.AllCores()) != 512 {
+		t.Error("AllCores length mismatch")
+	}
+}
