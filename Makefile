@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+# The tier-1 gate: formatting, static checks, build, tests.
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of every paper-figure benchmark plus the scheduler
+# micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+	$(GO) test -bench=Engine -benchmem ./internal/sim

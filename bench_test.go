@@ -21,6 +21,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/memsys"
 	"repro/internal/prim"
+	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/xfer"
 )
@@ -109,24 +110,30 @@ func BenchmarkFig8MappingBandwidth(b *testing.B) {
 }
 
 // BenchmarkFig13aComputeContention measures baseline slowdown under 16
-// compute contenders vs PIM-MMU slowdown.
+// compute contenders vs PIM-MMU slowdown. The four independent machines
+// (2 designs x contended/idle) fan out through one sweep.
 func BenchmarkFig13aComputeContention(b *testing.B) {
+	run := func(d system.Design, n int) float64 {
+		s := system.MustNew(system.DefaultConfig(d))
+		if n > 0 {
+			base := s.Alloc(uint64(n) * (16 << 10))
+			s.Contenders(n, func(j int, st *contend.Stopper) cpu.Program {
+				return contend.Spin(st, base+uint64(j)*(16<<10))
+			})
+		}
+		per := uint64(benchBytes) / uint64(s.Cfg.PIM.NumCores()) &^ 63
+		r := s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per))
+		return r.Duration.Seconds()
+	}
+	points := []struct {
+		d system.Design
+		n int
+	}{{system.Base, 16}, {system.Base, 0}, {system.PIMMMU, 16}, {system.PIMMMU, 0}}
 	var baseSlow, mmuSlow float64
 	for i := 0; i < b.N; i++ {
-		run := func(d system.Design, n int) float64 {
-			s := system.MustNew(system.DefaultConfig(d))
-			if n > 0 {
-				base := s.Alloc(uint64(n) * (16 << 10))
-				s.Contenders(n, func(j int, st *contend.Stopper) cpu.Program {
-					return contend.Spin(st, base+uint64(j)*(16<<10))
-				})
-			}
-			per := uint64(benchBytes) / uint64(s.Cfg.PIM.NumCores()) &^ 63
-			r := s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per))
-			return r.Duration.Seconds()
-		}
-		baseSlow = run(system.Base, 16) / run(system.Base, 0)
-		mmuSlow = run(system.PIMMMU, 16) / run(system.PIMMMU, 0)
+		lat := sweep.Map(len(points), func(j int) float64 { return run(points[j].d, points[j].n) })
+		baseSlow = lat[0] / lat[1]
+		mmuSlow = lat[2] / lat[3]
 	}
 	b.ReportMetric(baseSlow, "base-slowdown")
 	b.ReportMetric(mmuSlow, "mmu-slowdown")
@@ -150,8 +157,13 @@ func BenchmarkFig13bMemoryContention(b *testing.B) {
 			r := s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per))
 			return r.Duration.Seconds()
 		}
-		baseSlow = run(system.Base, true) / run(system.Base, false)
-		mmuSlow = run(system.PIMMMU, true) / run(system.PIMMMU, false)
+		points := []struct {
+			d   system.Design
+			hog bool
+		}{{system.Base, true}, {system.Base, false}, {system.PIMMMU, true}, {system.PIMMMU, false}}
+		lat := sweep.Map(len(points), func(j int) float64 { return run(points[j].d, points[j].hog) })
+		baseSlow = lat[0] / lat[1]
+		mmuSlow = lat[2] / lat[3]
 	}
 	b.ReportMetric(baseSlow, "base-slowdown")
 	b.ReportMetric(mmuSlow, "mmu-slowdown")
@@ -161,24 +173,26 @@ func BenchmarkFig13bMemoryContention(b *testing.B) {
 // gain on the 4C-8R configuration.
 func BenchmarkFig14MemcpyThroughput(b *testing.B) {
 	var gain float64
+	designs := []system.Design{system.PIMMMU, system.Base}
 	for i := 0; i < b.N; i++ {
-		run := func(d system.Design) float64 {
-			s := system.MustNew(system.DefaultConfig(d))
+		thr := sweep.Map(len(designs), func(j int) float64 {
+			s := system.MustNew(system.DefaultConfig(designs[j]))
 			return s.RunMemcpy(4 << 20).Throughput()
-		}
-		gain = run(system.PIMMMU) / run(system.Base)
+		})
+		gain = thr[0] / thr[1]
 	}
 	b.ReportMetric(gain, "memcpy-gain")
 }
 
 // BenchmarkFig15aAblationThroughput measures the four design points'
-// DRAM->PIM throughput.
+// DRAM->PIM throughput, fanned out through one sweep.
 func BenchmarkFig15aAblationThroughput(b *testing.B) {
-	var vals [4]float64
+	designs := system.Designs()
+	var vals []float64
 	for i := 0; i < b.N; i++ {
-		for j, d := range system.Designs() {
-			vals[j] = transferGBps(b, d, core.DRAMToPIM, benchBytes)
-		}
+		vals = sweep.Map(len(designs), func(j int) float64 {
+			return transferGBps(b, designs[j], core.DRAMToPIM, benchBytes)
+		})
 	}
 	b.ReportMetric(vals[1]/vals[0], "base+d")
 	b.ReportMetric(vals[2]/vals[0], "base+d+h")
@@ -189,15 +203,16 @@ func BenchmarkFig15aAblationThroughput(b *testing.B) {
 // PIM-MMU vs Base.
 func BenchmarkFig15bAblationEnergy(b *testing.B) {
 	var ratio float64
+	designs := []system.Design{system.Base, system.PIMMMU}
 	for i := 0; i < b.N; i++ {
-		run := func(d system.Design) float64 {
-			s := system.MustNew(system.DefaultConfig(d))
+		joules := sweep.Map(len(designs), func(j int) float64 {
+			s := system.MustNew(system.DefaultConfig(designs[j]))
 			before := s.Activity()
 			per := uint64(benchBytes) / uint64(s.Cfg.PIM.NumCores()) &^ 63
 			s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per))
 			return s.EnergyOver(before, s.Activity()).Total()
-		}
-		ratio = run(system.Base) / run(system.PIMMMU)
+		})
+		ratio = joules[0] / joules[1]
 	}
 	b.ReportMetric(ratio, "energy-gain")
 }
@@ -231,12 +246,35 @@ func BenchmarkAreaOverhead(b *testing.B) {
 // size.
 func BenchmarkHeadline(b *testing.B) {
 	var speedup float64
+	designs := []system.Design{system.Base, system.PIMMMU}
 	for i := 0; i < b.N; i++ {
-		base := transferGBps(b, system.Base, core.DRAMToPIM, benchBytes)
-		mmu := transferGBps(b, system.PIMMMU, core.DRAMToPIM, benchBytes)
-		speedup = mmu / base
+		thr := sweep.Map(len(designs), func(j int) float64 {
+			return transferGBps(b, designs[j], core.DRAMToPIM, benchBytes)
+		})
+		speedup = thr[1] / thr[0]
 	}
 	b.ReportMetric(speedup, "xfer-speedup")
+}
+
+// BenchmarkSweepAblation measures the Fig. 15-style four-design ablation
+// through internal/sweep, serial vs parallel — the whole-suite wall-clock
+// win of the sweep layer (expect >= 1.5x on machines with >= 4 cores; on
+// fewer cores the two are equivalent).
+func BenchmarkSweepAblation(b *testing.B) {
+	designs := system.Designs()
+	job := func(j int) float64 {
+		return transferGBps(b, designs[j], core.DRAMToPIM, benchBytes)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep.MapN(len(designs), 1, job)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep.MapN(len(designs), 0, job)
+		}
+	})
 }
 
 // --- Ablation benches (DESIGN.md design choices) ---
@@ -256,10 +294,13 @@ func BenchmarkAblationIssueOrder(b *testing.B) {
 		return s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per)).Throughput()
 	}
 	var alg1Gain, chRRGain float64
+	points := []struct{ pimms, chRR bool }{{false, false}, {true, false}, {false, true}}
 	for i := 0; i < b.N; i++ {
-		seq := run(false, false)
-		alg1Gain = run(true, false) / seq
-		chRRGain = run(false, true) / seq
+		thr := sweep.Map(len(points), func(j int) float64 {
+			return run(points[j].pimms, points[j].chRR)
+		})
+		alg1Gain = thr[1] / thr[0]
+		chRRGain = thr[2] / thr[0]
 	}
 	b.ReportMetric(alg1Gain, "alg1-gain")
 	b.ReportMetric(chRRGain, "chrr-gain")

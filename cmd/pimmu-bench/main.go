@@ -2,12 +2,14 @@
 //
 // Usage:
 //
-//	pimmu-bench [-full] <experiment>|all|list
+//	pimmu-bench [-full] [-workers N] <experiment>|all|list
 //
 // Experiments: table1 fig4 fig6 fig8 fig13a fig13b fig14 fig15a fig15b
 // fig16 area headline. Quick sizes are the default; -full uses the
 // paper's sizes (slow: the 256 MB sweeps simulate hundreds of millions
-// of DRAM commands).
+// of DRAM commands). Multi-design experiments fan their independent
+// simulations across CPU cores; -workers caps the parallelism (1 forces
+// the serial path, which produces byte-identical output).
 package main
 
 import (
@@ -17,12 +19,15 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/sweep"
 )
 
 func main() {
 	full := flag.Bool("full", false, "use the paper's full experiment sizes")
+	workers := flag.Int("workers", 0, "parallel simulations per sweep (0 = all cores, 1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
+	sweep.SetWorkers(*workers)
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -60,6 +65,6 @@ func runOne(e harness.Experiment, sc harness.Scale) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] <experiment>|all|list\n")
+	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] <experiment>|all|list\n")
 	flag.PrintDefaults()
 }

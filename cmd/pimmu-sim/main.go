@@ -1,9 +1,11 @@
 // Command pimmu-sim runs a single DRAM<->PIM transfer on a chosen design
-// point and prints throughput, memory-system statistics, and energy.
+// point and prints throughput, memory-system statistics, and energy —
+// or, with -design all, sweeps every design point in parallel and prints
+// the ablation comparison.
 //
 // Usage:
 //
-//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu] [-mb N] [-dir to|from]
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N]
 package main
 
 import (
@@ -13,14 +15,30 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/sweep"
 	"repro/internal/system"
 )
 
 func main() {
-	designFlag := flag.String("design", "pim-mmu", "design point: base, base+d, base+d+h, pim-mmu")
+	designFlag := flag.String("design", "pim-mmu", "design point: base, base+d, base+d+h, pim-mmu, or all")
 	mb := flag.Uint64("mb", 16, "total transfer size in MiB")
 	dirFlag := flag.String("dir", "to", "direction: to (DRAM->PIM) or from (PIM->DRAM)")
+	workers := flag.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
 	flag.Parse()
+	sweep.SetWorkers(*workers)
+
+	dir := core.DRAMToPIM
+	if *dirFlag == "from" {
+		dir = core.PIMToDRAM
+	} else if *dirFlag != "to" {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: unknown direction %q\n", *dirFlag)
+		os.Exit(2)
+	}
+
+	if *designFlag == "all" {
+		runAll(dir, *mb)
+		return
+	}
 
 	var design system.Design
 	switch *designFlag {
@@ -36,22 +54,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimmu-sim: unknown design %q\n", *designFlag)
 		os.Exit(2)
 	}
-	dir := core.DRAMToPIM
-	if *dirFlag == "from" {
-		dir = core.PIMToDRAM
-	} else if *dirFlag != "to" {
-		fmt.Fprintf(os.Stderr, "pimmu-sim: unknown direction %q\n", *dirFlag)
-		os.Exit(2)
-	}
+	runOne(design, dir, *mb)
+}
 
+// measurement is one design point's transfer outcome.
+type measurement struct {
+	sys    *system.System
+	res    system.XferResult
+	energy energy.Breakdown
+}
+
+// measure runs one transfer on a fresh machine.
+func measure(design system.Design, dir core.Direction, mb uint64) measurement {
 	s := system.MustNew(system.DefaultConfig(design))
-	per := (*mb << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	per := (mb << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
 	if per < 64 {
 		per = 64
 	}
 	before := s.Activity()
 	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
-	b := s.EnergyOver(before, s.Activity())
+	return measurement{sys: s, res: res, energy: s.EnergyOver(before, s.Activity())}
+}
+
+// runAll sweeps the four design points in parallel and prints the
+// Fig. 15-style comparison.
+func runAll(dir core.Direction, mb uint64) {
+	designs := system.Designs()
+	ms := sweep.Map(len(designs), func(i int) measurement {
+		return measure(designs[i], dir, mb)
+	})
+	fmt.Printf("direction   %v, %d MiB per design point\n\n", dir, mb)
+	fmt.Printf("%-12s %12s %12s %12s %12s\n",
+		"design", "GB/s", "vs Base", "energy (J)", "MB/J")
+	base := ms[0]
+	for i, d := range designs {
+		m := ms[i]
+		fmt.Printf("%-12v %12.2f %11.2fx %12.4f %12.1f\n",
+			d, m.res.Throughput()/1e9,
+			m.res.Throughput()/base.res.Throughput(),
+			m.energy.Total(),
+			energy.EfficiencyBytesPerJoule(m.res.Bytes, m.energy)/1e6)
+	}
+}
+
+// runOne prints the detailed single-design report.
+func runOne(design system.Design, dir core.Direction, mb uint64) {
+	m := measure(design, dir, mb)
+	s, res, b := m.sys, m.res, m.energy
 
 	fmt.Printf("design      %v\n", design)
 	fmt.Printf("direction   %v\n", dir)

@@ -202,6 +202,31 @@ func (r Result) Throughput() float64 {
 	return float64(r.Bytes) / d.Seconds()
 }
 
+// phase names the DCE's sequential transfer stages; one standing event
+// walks them, so driver launch, batch reloads, and the completion
+// interrupt never allocate.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	// phaseLaunch: the driver has written the descriptors; start batch 0.
+	phaseLaunch
+	// phaseReload: the address buffer is being refilled for the next batch.
+	phaseReload
+	// phaseInterrupt: the completion interrupt is being delivered.
+	phaseInterrupt
+)
+
+// transferState is the in-flight transfer (the engine serializes
+// transfers, so there is at most one).
+type transferState struct {
+	op       Op
+	start    clock.Picos
+	onDone   func(Result)
+	from     int // next undispatched descriptor index
+	batchCap int
+}
+
 // Engine is the DCE hardware model.
 type Engine struct {
 	eng  *sim.Engine
@@ -210,7 +235,22 @@ type Engine struct {
 	cfg  Config
 	dom  clock.Domain
 
-	busy bool
+	busy    bool
+	phaseEv sim.Event
+	phase   phase
+	cur     transferState
+	batch   *batchRun
+
+	// freeReq recycles line-request records (request + completion
+	// callback), so the per-line issue path performs no allocation.
+	freeReq *dceReq
+
+	// preprocQ defers read-side lines through the preprocessing unit
+	// (on-the-fly transpose). The unit's per-line latency is constant, so
+	// readiness is FIFO and one standing event drains the queue.
+	preprocQ    []clock.Picos
+	preprocHead int
+	preprocEv   sim.Event
 
 	// TransfersDone and BytesMoved accumulate across transfers.
 	TransfersDone uint64
@@ -225,7 +265,10 @@ func New(eng *sim.Engine, sys *memsys.System, geom pim.Geometry, cfg Config) (*E
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{eng: eng, sys: sys, geom: geom, cfg: cfg, dom: clock.NewDomain(cfg.Clock)}, nil
+	e := &Engine{eng: eng, sys: sys, geom: geom, cfg: cfg, dom: clock.NewDomain(cfg.Clock)}
+	e.phaseEv.Init(sim.HandlerFunc(e.onPhase))
+	e.preprocEv.Init(sim.HandlerFunc(e.firePreproc))
+	return e, nil
 }
 
 // MustNew is New for static configurations.
@@ -258,39 +301,56 @@ func (e *Engine) Transfer(op Op, onDone func(Result)) {
 		panic(err)
 	}
 	e.busy = true
-	batchCap := e.cfg.AddrBufBytes / e.cfg.AddrEntryBytes
-	start := e.eng.Now()
-	e.eng.At(start+e.cfg.DriverLaunch, func() {
-		e.runBatches(op, 0, batchCap, start, onDone)
-	})
+	e.cur = transferState{
+		op:       op,
+		start:    e.eng.Now(),
+		onDone:   onDone,
+		batchCap: e.cfg.AddrBufBytes / e.cfg.AddrEntryBytes,
+	}
+	e.phase = phaseLaunch
+	e.eng.ScheduleAfter(&e.phaseEv, e.cfg.DriverLaunch)
 }
 
-// runBatches processes descriptor batches sequentially, batchCap cores at
-// a time.
-func (e *Engine) runBatches(op Op, from, batchCap int, start clock.Picos, onDone func(Result)) {
-	if from >= len(op.Cores) {
-		end := e.eng.Now() + e.cfg.DriverInterrupt
-		e.eng.At(end, func() {
-			e.busy = false
-			e.TransfersDone++
-			e.BytesMoved += op.Bytes()
-			onDone(Result{Dir: op.Dir, Start: start, End: end, Bytes: op.Bytes()})
-		})
+// onPhase advances the transfer's sequential stages.
+func (e *Engine) onPhase(now clock.Picos) {
+	switch e.phase {
+	case phaseLaunch, phaseReload:
+		e.startBatch()
+	case phaseInterrupt:
+		st := e.cur
+		e.phase = phaseIdle
+		e.cur = transferState{}
+		e.busy = false
+		e.TransfersDone++
+		e.BytesMoved += st.op.Bytes()
+		st.onDone(Result{Dir: st.op.Dir, Start: st.start, End: now, Bytes: st.op.Bytes()})
+	default:
+		panic("core: phase event while idle")
+	}
+}
+
+// startBatch dispatches the next address-buffer-sized descriptor batch.
+func (e *Engine) startBatch() {
+	from := e.cur.from
+	to := from + e.cur.batchCap
+	if to > len(e.cur.op.Cores) {
+		to = len(e.cur.op.Cores)
+	}
+	e.cur.from = to
+	e.runBatch(e.cur.op, from, to)
+}
+
+// batchDone sequences the follow-on of a drained batch: an address-buffer
+// reload when descriptors remain, the completion interrupt otherwise.
+func (e *Engine) batchDone() {
+	e.batch = nil
+	if e.cur.from < len(e.cur.op.Cores) {
+		e.phase = phaseReload
+		e.eng.ScheduleAfter(&e.phaseEv, e.cfg.BatchReload)
 		return
 	}
-	to := from + batchCap
-	if to > len(op.Cores) {
-		to = len(op.Cores)
-	}
-	e.runBatch(op, from, to, func() {
-		if to < len(op.Cores) {
-			e.eng.After(e.cfg.BatchReload, func() {
-				e.runBatches(op, to, batchCap, start, onDone)
-			})
-			return
-		}
-		e.runBatches(op, len(op.Cores), batchCap, start, onDone)
-	})
+	e.phase = phaseInterrupt
+	e.eng.ScheduleAfter(&e.phaseEv, e.cfg.DriverInterrupt)
 }
 
 // streams derives the two stream sets for cores[from:to]: the DRAM-side
@@ -346,7 +406,7 @@ func (e *Engine) streams(op Op, from, to int) (coreSide, bankSide []pimms.Stream
 const DRAMChunkLines = 64
 
 // runBatch executes one address-buffer-resident batch to completion.
-func (e *Engine) runBatch(op Op, from, to int, done func()) {
+func (e *Engine) runBatch(op Op, from, to int) {
 	coreSide, bankSide := e.streams(op, from, to)
 	readStreams, writeStreams := coreSide, bankSide
 	if op.Dir == PIMToDRAM {
@@ -381,8 +441,79 @@ func (e *Engine) runBatch(op Op, from, to int, done func()) {
 		totalRead:  pimms.TotalLines(readStreams) * mem.LineBytes,
 		totalWrite: pimms.TotalLines(writeStreams) * mem.LineBytes,
 		bufBytes:   buf,
-		done:       done,
 	}
+	e.batch = b
+	b.pump()
+}
+
+// dceReq is a pooled line request: the mem.Req plus its completion
+// callback, created once and recycled through the engine's free list so
+// the per-line data path performs no allocation.
+type dceReq struct {
+	req  mem.Req
+	e    *Engine
+	read bool
+	next *dceReq
+}
+
+// takeReq pops a recycled request record or creates one.
+func (e *Engine) takeReq() *dceReq {
+	dr := e.freeReq
+	if dr == nil {
+		dr = &dceReq{e: e}
+		dr.req.OnDone = dr.complete
+	} else {
+		e.freeReq = dr.next
+		dr.next = nil
+	}
+	return dr
+}
+
+// complete is the shared completion callback. The channel has finished
+// with the request when it fires, so the record recycles immediately; the
+// active batch then absorbs the completion.
+func (dr *dceReq) complete(now clock.Picos) {
+	e := dr.e
+	read := dr.read
+	dr.next = e.freeReq
+	e.freeReq = dr
+	b := e.batch
+	if read {
+		// Stream through the preprocessing unit (on-the-fly transpose),
+		// then make the line available to the write side.
+		e.queuePreproc(now)
+		return
+	}
+	b.writesDone += mem.LineBytes
+	b.pump()
+}
+
+// queuePreproc enters one arrived read line into the preprocessing
+// pipeline. The unit's latency is constant, so ready times are FIFO.
+func (e *Engine) queuePreproc(now clock.Picos) {
+	at := now + e.dom.Duration(e.cfg.Preproc.Cycles(1))
+	e.preprocQ = append(e.preprocQ, at)
+	if !e.preprocEv.Scheduled() {
+		e.eng.Schedule(&e.preprocEv, at)
+	}
+}
+
+// firePreproc retires every preprocessed line that has matured and lets
+// the batch pump the freed data-buffer space.
+func (e *Engine) firePreproc(now clock.Picos) {
+	n := uint64(0)
+	for e.preprocHead < len(e.preprocQ) && e.preprocQ[e.preprocHead] <= now {
+		e.preprocHead++
+		n++
+	}
+	if e.preprocHead == len(e.preprocQ) {
+		e.preprocQ = e.preprocQ[:0]
+		e.preprocHead = 0
+	} else {
+		e.eng.Schedule(&e.preprocEv, e.preprocQ[e.preprocHead])
+	}
+	b := e.batch
+	b.readsDone += n * mem.LineBytes
 	b.pump()
 }
 
@@ -400,7 +531,7 @@ type batchRun struct {
 	bufBytes                 uint64
 
 	readStalled, writeStalled bool
-	done                      func()
+	finished                  bool
 }
 
 func take(its []pimms.Iterator, rr *int, pending **pimms.Granule) (pimms.Granule, bool) {
@@ -469,49 +600,39 @@ func (b *batchRun) pump() {
 	b.finishIfDrained()
 }
 
-// issueRead sends one read-side line.
+// issueRead sends one read-side line. DCE traffic bypasses the LLC in
+// both directions.
 func (b *batchRun) issueRead(g pimms.Granule) bool {
-	req := &mem.Req{
-		Addr:      g.Addr,
-		Kind:      mem.Read,
-		Cacheable: false, // DCE traffic bypasses the LLC in both directions
-		SrcID:     SrcID,
-		OnDone: func(clock.Picos) {
-			// Stream through the preprocessing unit (on-the-fly transpose),
-			// then make the line available to the write side.
-			delay := b.e.dom.Duration(b.e.cfg.Preproc.Cycles(1))
-			b.e.eng.After(delay, func() {
-				b.readsDone += mem.LineBytes
-				b.pump()
-			})
-		},
-	}
-	return b.e.sys.TryEnqueue(req)
+	return b.issue(g, mem.Read, true)
 }
 
 // issueWrite sends one write-side line.
 func (b *batchRun) issueWrite(g pimms.Granule) bool {
-	req := &mem.Req{
-		Addr:      g.Addr,
-		Kind:      mem.Write,
-		Cacheable: false,
-		SrcID:     SrcID,
-		OnDone: func(clock.Picos) {
-			b.writesDone += mem.LineBytes
-			b.pump()
-		},
-	}
-	return b.e.sys.TryEnqueue(req)
+	return b.issue(g, mem.Write, false)
 }
 
-// finishIfDrained invokes the batch continuation once everything is done.
+func (b *batchRun) issue(g pimms.Granule, kind mem.Kind, read bool) bool {
+	dr := b.e.takeReq()
+	dr.read = read
+	dr.req.Addr = g.Addr
+	dr.req.Kind = kind
+	dr.req.Cacheable = false
+	dr.req.SrcID = SrcID
+	if b.e.sys.TryEnqueue(&dr.req) {
+		return true
+	}
+	// Rejected: the channel never saw the record, recycle it now.
+	dr.next = b.e.freeReq
+	b.e.freeReq = dr
+	return false
+}
+
+// finishIfDrained hands the batch back to the engine once everything is
+// done.
 func (b *batchRun) finishIfDrained() {
-	if b.writesDone < b.totalWrite || b.readsDone < b.totalRead {
+	if b.finished || b.writesDone < b.totalWrite || b.readsDone < b.totalRead {
 		return
 	}
-	if b.done != nil {
-		d := b.done
-		b.done = nil
-		d()
-	}
+	b.finished = true
+	b.e.batchDone()
 }

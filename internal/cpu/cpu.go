@@ -135,8 +135,13 @@ type Core struct {
 	id     int
 	cpu    *CPU
 	thread *Thread
-	kicked bool
-	// busyUntil tracks cumulative busy time for utilization accounting.
+	// kickEv is the core's standing execution-step event; resumeEv is its
+	// standing end-of-compute-span event. Both are rescheduled in place,
+	// so the per-op scheduling path performs no allocation.
+	kickEv   sim.Event
+	resumeEv sim.Event
+	resumeT  *Thread // thread the pending resumeEv belongs to
+	// busy tracks cumulative busy time for utilization accounting.
 	busy    clock.Picos
 	lastRun clock.Picos
 }
@@ -166,7 +171,10 @@ func New(eng *sim.Engine, cfg Config, port mem.Port) *CPU {
 	}
 	c := &CPU{eng: eng, cfg: cfg, dom: clock.NewDomain(cfg.Clock), mem: port}
 	for i := 0; i < cfg.Cores; i++ {
-		c.cores = append(c.cores, &Core{id: i, cpu: c})
+		core := &Core{id: i, cpu: c}
+		core.kickEv.Init(sim.HandlerFunc(core.advance))
+		core.resumeEv.Init(sim.HandlerFunc(core.resume))
+		c.cores = append(c.cores, core)
 	}
 	return c
 }
@@ -308,17 +316,15 @@ func (c *CPU) Cores() []*Core { return c.cores }
 
 // kick schedules the core's execution step if not already pending.
 func (core *Core) kick() {
-	if core.kicked {
+	if core.kickEv.Scheduled() {
 		return
 	}
-	core.kicked = true
-	core.cpu.eng.After(0, core.advance)
+	core.cpu.eng.Schedule(&core.kickEv, core.cpu.eng.Now())
 }
 
 // advance runs the scheduled thread until it blocks on a resource, starts
 // a compute span, or exits.
-func (core *Core) advance() {
-	core.kicked = false
+func (core *Core) advance(clock.Picos) {
 	t := core.thread
 	if t == nil {
 		return
@@ -345,7 +351,11 @@ func (core *Core) advance() {
 			if op.Cycles > 0 {
 				d := cpu.dom.Duration(op.Cycles)
 				t.computeUntil = cpu.eng.Now() + d
-				cpu.eng.After(d, core.resume(t))
+				// Reschedule the standing resume event: a pending resume
+				// for a preempted previous occupant is dead anyway (it
+				// no-ops when the thread no longer owns the core).
+				core.resumeT = t
+				cpu.eng.ScheduleAfter(&core.resumeEv, d)
 				return
 			}
 		case OpBarrier:
@@ -390,14 +400,12 @@ func (core *Core) advance() {
 	}
 }
 
-// resume returns a callback that continues t if it still owns this core
+// resume continues the compute-span thread if it still owns this core
 // when the event fires (it may have been preempted meanwhile; the ready
 // thread will re-run on its next dispatch).
-func (core *Core) resume(t *Thread) func() {
-	return func() {
-		if core.thread == t {
-			core.kick()
-		}
+func (core *Core) resume(clock.Picos) {
+	if core.thread == core.resumeT {
+		core.kick()
 	}
 }
 

@@ -142,11 +142,14 @@ type Channel struct {
 	last    lastCAS
 	nextCAS int64 // channel scope: tCCD_S
 
-	scheduled bool
-	wakeAt    clock.Picos // time of the earliest pending tick, when scheduled
-	lastTick  int64       // last cycle the scheduler ran (one command per cycle)
-	waiters   []func()
-	observer  Observer
+	tickEv   sim.Event // the channel's one standing scheduler-tick event
+	lastTick int64     // last cycle the scheduler ran (one command per cycle)
+	waiters  []func()
+	observer Observer
+
+	// freeComp recycles data-burst completion records so the per-command
+	// completion path performs no event allocation.
+	freeComp *completion
 
 	stats *ChannelStats
 }
@@ -161,6 +164,7 @@ func newChannel(eng *sim.Engine, cfg Config, id int, name string) *Channel {
 		lastTick: -1,
 		stats:    newChannelStats(cfg.SeriesWindow),
 	}
+	c.tickEv.Init(sim.HandlerFunc(c.tick))
 	nBanks := cfg.Geometry.BankGroups * cfg.Geometry.Banks
 	for r := 0; r < cfg.Geometry.Ranks; r++ {
 		rs := &rankState{
@@ -243,10 +247,9 @@ func (c *Channel) notifySpace() {
 	}
 }
 
-// kick schedules a scheduler tick at the next cycle boundary. If a tick
-// is already pending at a later time (for example a distant refresh
-// deadline), an earlier one is scheduled; the stale later event fires as
-// a harmless re-evaluation.
+// kick schedules a scheduler tick at the next cycle boundary. If the
+// standing tick event is already pending at a later time (for example a
+// distant refresh deadline), it is pulled forward in place.
 func (c *Channel) kick() {
 	c.kickAt(c.dom.Align(c.eng.Now()))
 }
@@ -262,19 +265,16 @@ func (c *Channel) kickAt(t clock.Picos) {
 	if min := c.dom.Duration(c.lastTick + 1); t < min {
 		t = min
 	}
-	if c.scheduled && c.wakeAt <= t {
+	if c.tickEv.Scheduled() && c.tickEv.When() <= t {
 		return
 	}
-	c.scheduled = true
-	c.wakeAt = t
-	c.eng.At(t, c.tick)
+	c.eng.Schedule(&c.tickEv, t)
 }
 
-func (c *Channel) tick() {
-	c.scheduled = false
-	cyc := c.dom.Cycles(c.eng.Now())
+func (c *Channel) tick(now clock.Picos) {
+	cyc := c.dom.Cycles(now)
 	if cyc <= c.lastTick {
-		return // stale event from an earlier, superseded schedule
+		return // defensive: one command per command-clock cycle
 	}
 	c.lastTick = cyc
 	issued, wake := c.tryIssue(cyc)

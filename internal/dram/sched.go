@@ -2,7 +2,9 @@ package dram
 
 import (
 	"repro/internal/addrmap"
+	"repro/internal/clock"
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // never is the "no wake needed" sentinel for scheduler wake times, far
@@ -318,26 +320,50 @@ func (c *Channel) issueCAS(p *pending, cyc int64) {
 		c.stats.RowHits++
 	}
 
-	req := p.req
-	c.eng.At(c.dom.Duration(doneCycle), func() {
-		now := c.eng.Now()
-		if req.Kind == mem.Read {
-			c.stats.BytesRead += mem.LineBytes
-			if c.stats.ReadSeries != nil {
-				c.stats.ReadSeries.Add(now, mem.LineBytes)
-			}
-		} else {
-			c.stats.BytesWritten += mem.LineBytes
-			if c.stats.WriteSeries != nil {
-				c.stats.WriteSeries.Add(now, mem.LineBytes)
-			}
-		}
-		c.stats.BytesBySrc[req.SrcID] += mem.LineBytes
-		if req.OnDone != nil {
-			req.OnDone(now)
-		}
-	})
+	cp := c.freeComp
+	if cp == nil {
+		cp = &completion{c: c}
+		cp.ev.Init(cp)
+	} else {
+		c.freeComp = cp.next
+		cp.next = nil
+	}
+	cp.req = p.req
+	c.eng.Schedule(&cp.ev, c.dom.Duration(doneCycle))
 	c.notifySpace()
+}
+
+// completion is a pooled data-burst completion record: the standing event
+// fires when the burst finishes on the data bus, accounts the bytes, and
+// returns itself to the channel's free list.
+type completion struct {
+	ev   sim.Event
+	c    *Channel
+	req  *mem.Req
+	next *completion // free list
+}
+
+// OnEvent implements sim.Handler.
+func (cp *completion) OnEvent(now clock.Picos) {
+	c, req := cp.c, cp.req
+	cp.req = nil
+	cp.next = c.freeComp
+	c.freeComp = cp
+	if req.Kind == mem.Read {
+		c.stats.BytesRead += mem.LineBytes
+		if c.stats.ReadSeries != nil {
+			c.stats.ReadSeries.Add(now, mem.LineBytes)
+		}
+	} else {
+		c.stats.BytesWritten += mem.LineBytes
+		if c.stats.WriteSeries != nil {
+			c.stats.WriteSeries.Add(now, mem.LineBytes)
+		}
+	}
+	c.stats.BytesBySrc[req.SrcID] += mem.LineBytes
+	if req.OnDone != nil {
+		req.OnDone(now)
+	}
 }
 
 func (c *Channel) removeFrom(q *[]*pending, p *pending) {

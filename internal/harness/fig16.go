@@ -6,26 +6,34 @@ import (
 
 	"repro/internal/prim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/system"
 )
 
 // Fig16 reproduces the end-to-end PrIM evaluation: the per-workload time
 // breakdown (DRAM->PIM transfer, PIM kernel, PIM->DRAM transfer) for the
-// baseline and for PIM-MMU, normalized to the baseline.
+// baseline and for PIM-MMU, normalized to the baseline. Every (workload x
+// design) run is an independent machine, so the whole suite fans out
+// through one sweep.
 func Fig16(w io.Writer, sc Scale) {
 	scale := 1.0 / 64
 	if sc == Full {
 		scale = 1.0
 	}
+	suite := prim.Suite()
+	designs := baseVsMMU
+	g := sweep.NewGrid(len(suite), len(designs))
+	phases := sweep.Map(g.Size(), func(i int) prim.Phase {
+		s := system.MustNew(system.DefaultConfig(designs[g.Coord(i, 1)]))
+		return prim.RunEndToEnd(s, suite[g.Coord(i, 0)], scale)
+	})
 	t := stats.NewTable("workload",
 		"base in%", "base kern%", "base out%",
 		"mmu total (norm.)", "speedup", "xfer cut in", "xfer cut out")
 	var speedups, fracs []float64
-	for _, wl := range prim.Suite() {
-		base := system.MustNew(system.DefaultConfig(system.Base))
-		pb := prim.RunEndToEnd(base, wl, scale)
-		mmu := system.MustNew(system.DefaultConfig(system.PIMMMU))
-		pm := prim.RunEndToEnd(mmu, wl, scale)
+	for wi, wl := range suite {
+		pb := phases[g.Index(wi, 0)]
+		pm := phases[g.Index(wi, 1)]
 
 		bt := float64(pb.Total())
 		sp := bt / float64(pm.Total())

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/clock"
 	"repro/internal/contend"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/energy"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/xfer"
 )
@@ -22,19 +24,30 @@ func dieFrac(cfg core.Config) float64 {
 	return energy.DieOverheadFraction(cfg.DataBufBytes, cfg.AddrBufBytes)
 }
 
+// bothDirections is the transfer-direction axis shared by several sweeps.
+var bothDirections = []core.Direction{core.DRAMToPIM, core.PIMToDRAM}
+
+// baseVsMMU is the baseline-vs-full-proposal design axis shared by the
+// two-point comparisons.
+var baseVsMMU = []system.Design{system.Base, system.PIMMMU}
+
 // Fig4 reproduces the active-core-fraction and system-power time series
-// during baseline DRAM<->PIM transfers.
+// during baseline DRAM<->PIM transfers. The two directions are
+// independent machines, so they sweep in parallel; each job renders its
+// own section and the sections print in paper order.
 func Fig4(w io.Writer, sc Scale) {
 	size := uint64(16 << 20)
 	if sc == Full {
 		size = 256 << 20
 	}
-	for _, dir := range []core.Direction{core.DRAMToPIM, core.PIMToDRAM} {
+	sections := sweep.Map(len(bothDirections), func(i int) string {
+		dir := bothDirections[i]
 		s := newSystem(system.Base)
 		trace, stop := s.SamplePower(50 * clock.Microsecond)
 		res := runTransfer(s, dir, size)
 		stop()
-		fmt.Fprintf(w, "-- %v transfer of %d MiB (baseline) --\n", dir, size>>20)
+		var b strings.Builder
+		fmt.Fprintf(&b, "-- %v transfer of %d MiB (baseline) --\n", dir, size>>20)
 		t := stats.NewTable("t (us)", "active cores (%)", "system power (W)")
 		n := trace.Watts.Len()
 		step := n/12 + 1
@@ -42,9 +55,13 @@ func Fig4(w io.Writer, sc Scale) {
 			t.Rowf("%d\t%.0f\t%.1f",
 				i*50, 100*trace.ActiveFrac.Bucket(i), trace.Watts.Bucket(i))
 		}
-		fmt.Fprint(w, t)
-		fmt.Fprintf(w, "transfer: %s GB/s; paper shape: ~100%% cores busy, ~70 W during transfer\n\n",
+		fmt.Fprint(&b, t)
+		fmt.Fprintf(&b, "transfer: %s GB/s; paper shape: ~100%% cores busy, ~70 W during transfer\n\n",
 			gb(res.Throughput()))
+		return b.String()
+	})
+	for _, s := range sections {
+		fmt.Fprint(w, s)
 	}
 }
 
@@ -57,8 +74,15 @@ func Fig6(w io.Writer, sc Scale) {
 	if sc == Full {
 		size = 64 << 20
 	}
-	run := func(d system.Design, label string) {
-		cfg := system.DefaultConfig(d)
+	points := []struct {
+		design system.Design
+		label  string
+	}{
+		{system.Base, "a: software coarse-grained DRAM->PIM — one channel at a time"},
+		{system.PIMMMU, "b: hardware fine-grained — even across channels"},
+	}
+	sections := sweep.Map(len(points), func(i int) string {
+		cfg := system.DefaultConfig(points[i].design)
 		cfg.Mem.PIM.SeriesWindow = 100 * clock.Microsecond
 		s := system.MustNew(cfg)
 		runTransfer(s, core.DRAMToPIM, size)
@@ -66,7 +90,8 @@ func Fig6(w io.Writer, sc Scale) {
 		for _, c := range s.Mem.PIM.Stats().Channels {
 			series = append(series, c.WriteSeries)
 		}
-		fmt.Fprintf(w, "-- (%s) per-PIM-channel share of write throughput over time --\n", label)
+		var b strings.Builder
+		fmt.Fprintf(&b, "-- (%s) per-PIM-channel share of write throughput over time --\n", points[i].label)
 		t := stats.NewTable("t (x100us)", "ch0 %", "ch1 %", "ch2 %", "ch3 %")
 		maxLen := 0
 		for _, sr := range series {
@@ -80,38 +105,44 @@ func Fig6(w io.Writer, sc Scale) {
 			t.Rowf("%d\t%.0f\t%.0f\t%.0f\t%.0f", i,
 				rows[i][0], rows[i][1], rows[i][2], rows[i][3])
 		}
-		fmt.Fprint(w, t)
-		fmt.Fprintln(w)
+		fmt.Fprint(&b, t)
+		fmt.Fprintln(&b)
+		return b.String()
+	})
+	for _, s := range sections {
+		fmt.Fprint(w, s)
 	}
-	run(system.Base, "a: software coarse-grained DRAM->PIM — one channel at a time")
-	run(system.PIMMMU, "b: hardware fine-grained — even across channels")
 }
 
 // Fig8 reproduces the locality-centric vs MLP-centric DRAM bandwidth
-// comparison over sequential and strided read patterns.
+// comparison over sequential and strided read patterns. The four
+// (pattern x mapping) machines sweep in parallel.
 func Fig8(w io.Writer, sc Scale) {
 	lines := uint64(1 << 15) // per thread
 	if sc == Full {
 		lines = 1 << 17
 	}
-	run := func(d system.Design, stride int) float64 {
-		s := newSystem(d)
+	patterns := []struct {
+		name   string
+		stride int
+	}{{"sequential", 1}, {"strided (x4)", 4}}
+	designs := baseVsMMU // locality vs HetMap/MLP
+	g := sweep.NewGrid(len(patterns), len(designs))
+	thr := sweep.Map(g.Size(), func(i int) float64 {
+		s := newSystem(designs[g.Coord(i, 1)])
 		cfg := xfer.DefaultStreamConfig()
-		cfg.StrideLines = stride
-		base := s.Alloc(lines * uint64(stride) * uint64(cfg.Threads) * 64)
+		cfg.StrideLines = patterns[g.Coord(i, 0)].stride
+		base := s.Alloc(lines * uint64(cfg.StrideLines) * uint64(cfg.Threads) * 64)
 		var res xfer.Result
 		done := false
 		xfer.RunStream(s.CPU, base, lines, cfg, func(r xfer.Result) { res = r; done = true })
 		s.Eng.RunWhile(func() bool { return !done })
 		return res.Throughput()
-	}
+	})
 	t := stats.NewTable("pattern", "locality (GB/s)", "MLP (GB/s)", "locality/MLP")
-	for _, p := range []struct {
-		name   string
-		stride int
-	}{{"sequential", 1}, {"strided (x4)", 4}} {
-		loc := run(system.Base, p.stride)   // locality-centric mapping
-		mlp := run(system.PIMMMU, p.stride) // HetMap: DRAM side is MLP-centric
+	for pi, p := range patterns {
+		loc := thr[g.Index(pi, 0)]
+		mlp := thr[g.Index(pi, 1)]
 		t.Rowf("%s\t%s\t%s\t%.2f", p.name, gb(loc), gb(mlp), loc/mlp)
 	}
 	fmt.Fprint(w, t)
@@ -125,33 +156,42 @@ func Fig13a(w io.Writer, sc Scale) {
 		size = 32 << 20
 	}
 	counts := []int{0, 8, 16, 24}
+	designs := baseVsMMU
+	g := sweep.NewGrid(len(counts), len(designs))
+	lat := sweep.Map(g.Size(), func(i int) float64 {
+		return contendedLatency(designs[g.Coord(i, 1)], size, counts[g.Coord(i, 0)], -1)
+	})
 	t := stats.NewTable("spin contenders", "Base (norm. latency)", "PIM-MMU (norm. latency)")
-	var baseIdle, mmuIdle float64
-	for _, n := range counts {
-		b := contendedLatency(system.Base, size, n, -1)
-		m := contendedLatency(system.PIMMMU, size, n, -1)
-		if n == 0 {
-			baseIdle, mmuIdle = b, m
-		}
-		t.Rowf("%d\t%.2f\t%.2f", n, b/baseIdle, m/mmuIdle)
+	baseIdle, mmuIdle := lat[g.Index(0, 0)], lat[g.Index(0, 1)]
+	for ci, n := range counts {
+		t.Rowf("%d\t%.2f\t%.2f", n, lat[g.Index(ci, 0)]/baseIdle, lat[g.Index(ci, 1)]/mmuIdle)
 	}
 	fmt.Fprint(w, t)
 	fmt.Fprintln(w, "paper shape: baseline degrades sharply with contenders; PIM-MMU flat")
 }
 
-// Fig13b reproduces the memory-contender intensity sweep.
+// Fig13b reproduces the memory-contender intensity sweep. Row 0 is the
+// uncontended reference; rows 1.. are the intensity levels.
 func Fig13b(w io.Writer, sc Scale) {
 	size := uint64(4 << 20)
 	if sc == Full {
 		size = 32 << 20
 	}
-	baseIdle := contendedLatency(system.Base, size, 0, -1)
-	mmuIdle := contendedLatency(system.PIMMMU, size, 0, -1)
+	levels := contend.Levels()
+	designs := baseVsMMU
+	g := sweep.NewGrid(1+len(levels), len(designs))
+	lat := sweep.Map(g.Size(), func(i int) float64 {
+		d := designs[g.Coord(i, 1)]
+		if row := g.Coord(i, 0); row > 0 {
+			return contendedLatency(d, size, 4, int(levels[row-1]))
+		}
+		return contendedLatency(d, size, 0, -1)
+	})
+	baseIdle, mmuIdle := lat[g.Index(0, 0)], lat[g.Index(0, 1)]
 	t := stats.NewTable("intensity", "Base (norm. latency)", "PIM-MMU (norm. latency)")
-	for _, level := range contend.Levels() {
-		b := contendedLatency(system.Base, size, 4, int(level))
-		m := contendedLatency(system.PIMMMU, size, 4, int(level))
-		t.Rowf("%v\t%.2f\t%.2f", level, b/baseIdle, m/mmuIdle)
+	for li, level := range levels {
+		t.Rowf("%v\t%.2f\t%.2f", level,
+			lat[g.Index(li+1, 0)]/baseIdle, lat[g.Index(li+1, 1)]/mmuIdle)
 	}
 	fmt.Fprint(w, t)
 	fmt.Fprintln(w, "paper shape: both degrade with memory pressure; PIM-MMU consistently lower")
@@ -199,41 +239,50 @@ func Fig14(w io.Writer, sc Scale) {
 		{"4C-8R", 4, 2},
 		{"4C-16R", 4, 4},
 	}
+	designs := baseVsMMU
+	g := sweep.NewGrid(len(configs), len(designs))
+	thr := sweep.Map(g.Size(), func(i int) float64 {
+		c := configs[g.Coord(i, 0)]
+		cfg := system.DefaultConfig(designs[g.Coord(i, 1)])
+		cfg.Mem.DRAM.Geometry.Channels = c.ch
+		cfg.Mem.DRAM.Geometry.Ranks = c.ra
+		cfg.Mem.PIM.Geometry.Channels = c.ch
+		cfg.Mem.PIM.Geometry.Ranks = c.ra
+		cfg.PIM.DRAM.Channels = c.ch
+		cfg.PIM.DRAM.Ranks = c.ra
+		s := system.MustNew(cfg)
+		return s.RunMemcpy(size).Throughput()
+	})
 	t := stats.NewTable("config", "Baseline (GB/s)", "PIM-MMU (GB/s)", "gain")
-	for _, c := range configs {
-		run := func(d system.Design) float64 {
-			cfg := system.DefaultConfig(d)
-			cfg.Mem.DRAM.Geometry.Channels = c.ch
-			cfg.Mem.DRAM.Geometry.Ranks = c.ra
-			cfg.Mem.PIM.Geometry.Channels = c.ch
-			cfg.Mem.PIM.Geometry.Ranks = c.ra
-			cfg.PIM.DRAM.Channels = c.ch
-			cfg.PIM.DRAM.Ranks = c.ra
-			s := system.MustNew(cfg)
-			return s.RunMemcpy(size).Throughput()
-		}
-		base := run(system.Base)
-		mmu := run(system.PIMMMU)
+	for ci, c := range configs {
+		base := thr[g.Index(ci, 0)]
+		mmu := thr[g.Index(ci, 1)]
 		t.Rowf("%s\t%s\t%s\t%s", c.name, gb(base), gb(mmu), ratio(mmu/base))
 	}
 	fmt.Fprint(w, t)
 	fmt.Fprintln(w, "paper shape: 4.9x avg (max 6.0x); gains scale with channels, not ranks")
 }
 
-// Fig15a reproduces the ablation's transfer-throughput sweep.
+// Fig15a reproduces the ablation's transfer-throughput sweep: every
+// (direction x size x design) point is an independent machine, so the
+// whole ablation fans out at once.
 func Fig15a(w io.Writer, sc Scale) {
 	sizes := fig15Sizes(sc)
-	for _, dir := range []core.Direction{core.DRAMToPIM, core.PIMToDRAM} {
+	designs := system.Designs()
+	g := sweep.NewGrid(len(bothDirections), len(sizes), len(designs))
+	thr := sweep.Map(g.Size(), func(i int) float64 {
+		s := newSystem(designs[g.Coord(i, 2)])
+		return runTransfer(s, bothDirections[g.Coord(i, 0)], sizes[g.Coord(i, 1)]).Throughput()
+	})
+	for di, dir := range bothDirections {
 		fmt.Fprintf(w, "-- %v: throughput normalized to Base --\n", dir)
 		t := stats.NewTable("size", "Base", "Base+D", "Base+D+H", "Base+D+H+P")
-		for _, size := range sizes {
-			var vals []float64
-			for _, d := range system.Designs() {
-				s := newSystem(d)
-				vals = append(vals, runTransfer(s, dir, size).Throughput())
-			}
+		for si, size := range sizes {
+			base := thr[g.Index(di, si, 0)]
 			t.Rowf("%dMB\t1.00\t%.2f\t%.2f\t%.2f", size>>20,
-				vals[1]/vals[0], vals[2]/vals[0], vals[3]/vals[0])
+				thr[g.Index(di, si, 1)]/base,
+				thr[g.Index(di, si, 2)]/base,
+				thr[g.Index(di, si, 3)]/base)
 		}
 		fmt.Fprint(w, t)
 		fmt.Fprintln(w)
@@ -245,22 +294,29 @@ func Fig15a(w io.Writer, sc Scale) {
 // Fig15b reproduces the ablation's energy sweep.
 func Fig15b(w io.Writer, sc Scale) {
 	sizes := fig15Sizes(sc)
-	for _, dir := range []core.Direction{core.DRAMToPIM, core.PIMToDRAM} {
+	designs := system.Designs()
+	type point struct {
+		total      float64
+		staticFrac float64
+	}
+	g := sweep.NewGrid(len(bothDirections), len(sizes), len(designs))
+	res := sweep.Map(g.Size(), func(i int) point {
+		s := newSystem(designs[g.Coord(i, 2)])
+		before := s.Activity()
+		runTransfer(s, bothDirections[g.Coord(i, 0)], sizes[g.Coord(i, 1)])
+		b := s.EnergyOver(before, s.Activity())
+		return point{total: b.Total(), staticFrac: b.Static() / b.Total()}
+	})
+	for di, dir := range bothDirections {
 		fmt.Fprintf(w, "-- %v: energy normalized to Base (lower is better) --\n", dir)
 		t := stats.NewTable("size", "Base", "Base+D", "Base+D+H", "Base+D+H+P", "PIM-MMU static share")
-		for _, size := range sizes {
-			var totals []float64
-			var lastStatic float64
-			for _, d := range system.Designs() {
-				s := newSystem(d)
-				before := s.Activity()
-				runTransfer(s, dir, size)
-				b := s.EnergyOver(before, s.Activity())
-				totals = append(totals, b.Total())
-				lastStatic = b.Static() / b.Total()
-			}
+		for si, size := range sizes {
+			base := res[g.Index(di, si, 0)].total
+			mmu := res[g.Index(di, si, 3)]
 			t.Rowf("%dMB\t1.00\t%.2f\t%.2f\t%.2f\t%.0f%%", size>>20,
-				totals[1]/totals[0], totals[2]/totals[0], totals[3]/totals[0], 100*lastStatic)
+				res[g.Index(di, si, 1)].total/base,
+				res[g.Index(di, si, 2)].total/base,
+				mmu.total/base, 100*mmu.staticFrac)
 		}
 		fmt.Fprint(w, t)
 		fmt.Fprintln(w)

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/system"
 )
 
@@ -124,27 +125,32 @@ func Table1(w io.Writer, _ Scale) {
 }
 
 // Headline runs the abstract's summary numbers: average/max transfer
-// speedup and energy-efficiency gain of PIM-MMU over Base.
+// speedup and energy-efficiency gain of PIM-MMU over Base. Every
+// (direction x size x design) machine is independent, so the whole matrix
+// fans out through one sweep.
 func Headline(w io.Writer, sc Scale) {
 	sizes := []uint64{1 << 20, 4 << 20, 16 << 20}
 	if sc == Full {
 		sizes = append(sizes, 64<<20, 256<<20)
 	}
+	dirs := bothDirections
+	designs := baseVsMMU
+	type point struct{ thr, eff float64 }
+	g := sweep.NewGrid(len(dirs), len(sizes), len(designs))
+	res := sweep.Map(g.Size(), func(i int) point {
+		s := newSystem(designs[g.Coord(i, 2)])
+		a0 := s.Activity()
+		r := runTransfer(s, dirs[g.Coord(i, 0)], sizes[g.Coord(i, 1)])
+		e := s.EnergyOver(a0, s.Activity())
+		return point{thr: r.Throughput(), eff: float64(r.Bytes) / e.Total()}
+	})
 	var speedups, effs []float64
-	for _, dir := range []core.Direction{core.DRAMToPIM, core.PIMToDRAM} {
-		for _, size := range sizes {
-			b := newSystem(system.Base)
-			b0 := b.Activity()
-			rb := runTransfer(b, dir, size)
-			eb := b.EnergyOver(b0, b.Activity())
-
-			m := newSystem(system.PIMMMU)
-			m0 := m.Activity()
-			rm := runTransfer(m, dir, size)
-			em := m.EnergyOver(m0, m.Activity())
-
-			speedups = append(speedups, rm.Throughput()/rb.Throughput())
-			effs = append(effs, (float64(rm.Bytes)/em.Total())/(float64(rb.Bytes)/eb.Total()))
+	for di := range dirs {
+		for si := range sizes {
+			b := res[g.Index(di, si, 0)]
+			m := res[g.Index(di, si, 1)]
+			speedups = append(speedups, m.thr/b.thr)
+			effs = append(effs, m.eff/b.eff)
 		}
 	}
 	t := stats.NewTable("metric", "paper", "measured (avg)", "measured (max)")

@@ -112,6 +112,19 @@ type System struct {
 	// lastFull remembers the channel whose queue rejected the most recent
 	// Access, so WaitSpace can register there (mem.Port contract).
 	lastFull *dram.Channel
+
+	// hitQ defers LLC-hit completions: the hit latency is a constant, so
+	// completions are FIFO and one standing event drains the queue — no
+	// per-hit event allocation.
+	hitQ    []hitDone
+	hitHead int
+	hitEv   sim.Event
+}
+
+// hitDone is one deferred LLC-hit completion.
+type hitDone struct {
+	at   clock.Picos
+	done func(clock.Picos)
 }
 
 // New assembles the memory system.
@@ -156,6 +169,7 @@ func New(eng *sim.Engine, cfg Config) (*System, error) {
 	if cfg.PageScatter {
 		s.pages = NewPageMap(cfg.DRAM.Geometry.TotalBytes(), cfg.ArenaBytes, cfg.PageSeed)
 	}
+	s.hitEv.Init(sim.HandlerFunc(s.fireHits))
 	return s, nil
 }
 
@@ -213,8 +227,11 @@ func (s *System) TryEnqueue(r *mem.Req) bool {
 	if s.LLC.Contains(r.Addr) {
 		s.LLC.Access(r.Addr, r.Kind == mem.Write) // hit: update LRU/dirty
 		if r.OnDone != nil {
-			done := r.OnDone
-			s.eng.After(s.cfg.LLCHitLatency, func() { done(s.eng.Now()) })
+			at := s.eng.Now() + s.cfg.LLCHitLatency
+			s.hitQ = append(s.hitQ, hitDone{at: at, done: r.OnDone})
+			if !s.hitEv.Scheduled() {
+				s.eng.Schedule(&s.hitEv, at)
+			}
 		}
 		return true
 	}
@@ -236,6 +253,26 @@ func (s *System) TryEnqueue(r *mem.Req) bool {
 		s.issueWriteback(res.Writeback, r.SrcID)
 	}
 	return true
+}
+
+// fireHits delivers every deferred LLC-hit completion that has matured.
+// Completions enqueue in timestamp order (constant latency), so a head
+// index suffices; callbacks may enqueue further hits while we drain.
+func (s *System) fireHits(now clock.Picos) {
+	for s.hitHead < len(s.hitQ) && s.hitQ[s.hitHead].at <= now {
+		hd := s.hitQ[s.hitHead]
+		s.hitQ[s.hitHead] = hitDone{} // drop the callback reference
+		s.hitHead++
+		hd.done(now)
+	}
+	if s.hitHead == len(s.hitQ) {
+		s.hitQ = s.hitQ[:0]
+		s.hitHead = 0
+		return
+	}
+	if next := s.hitQ[s.hitHead].at; !s.hitEv.Scheduled() || s.hitEv.When() > next {
+		s.eng.Schedule(&s.hitEv, next)
+	}
 }
 
 // issueWriteback sends an evicted dirty line to DRAM, retrying until the

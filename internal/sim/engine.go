@@ -2,51 +2,109 @@
 // every timed component in the repository: DDR4 channel controllers, CPU
 // cores, the OS thread scheduler, the Data Copy Engine, and workload agents.
 //
-// The engine is a single-threaded priority queue of (time, callback) events.
-// Determinism is guaranteed: events at the same timestamp fire in insertion
-// order, so repeated runs of the same configuration produce bit-identical
-// results.
+// The engine is a single-threaded priority queue of events. Determinism is
+// guaranteed: events at the same timestamp fire in insertion order (and a
+// reschedule counts as a fresh insertion), so repeated runs of the same
+// configuration produce bit-identical results.
+//
+// Two scheduling styles coexist:
+//
+//   - the closure style, At/After/Ticker, convenient for one-shot and
+//     rarely-fired callbacks (the engine pools its internal event records,
+//     so only the caller's closure itself allocates);
+//   - the handle style, Schedule/Cancel on an intrusive *Event owned by the
+//     component, for hot paths. A component embeds its Event, binds a
+//     Handler once at construction, and thereafter reschedules the one
+//     standing event in place — zero allocations per fired event.
 package sim
 
 import (
-	"container/heap"
-
 	"repro/internal/clock"
 )
 
-// Event is a scheduled callback. The callback runs exactly once, at its
-// timestamp, with the engine clock already advanced.
-type event struct {
+// Handler receives event callbacks. Hot components implement it (or bind a
+// method via HandlerFunc) once and reuse one Event for their lifetime.
+type Handler interface {
+	// OnEvent runs at the event's timestamp with the engine clock already
+	// advanced to now.
+	OnEvent(now clock.Picos)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(now clock.Picos)
+
+// OnEvent implements Handler.
+func (f HandlerFunc) OnEvent(now clock.Picos) { f(now) }
+
+// Event is an intrusive, reusable event handle. The zero value is
+// unscheduled; bind a handler with Init (or at Schedule time) and the same
+// handle can be scheduled, canceled, and rescheduled any number of times
+// without allocating. An Event must not be copied while scheduled.
+type Event struct {
+	h   Handler
 	at  clock.Picos
-	seq uint64 // tie-break: FIFO among equal timestamps
-	fn  func()
+	seq uint64
+	pos int // heap index + 1; 0 when unscheduled
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Init binds the handler. Calling Init on a scheduled event is a
+// programming error and panics.
+func (ev *Event) Init(h Handler) {
+	if ev.pos != 0 {
+		panic("sim: Init on a scheduled event")
 	}
-	return h[i].seq < h[j].seq
+	ev.h = h
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// Scheduled reports whether the event is in the queue.
+func (ev *Event) Scheduled() bool { return ev.pos != 0 }
+
+// When reports the timestamp the event is scheduled for. It is only
+// meaningful while Scheduled.
+func (ev *Event) When() clock.Picos { return ev.at }
+
+// funcEvent wraps a one-shot closure for the At/After API. Fired wrappers
+// return to a per-engine free list, so steady-state closure scheduling
+// performs no event-record allocation.
+type funcEvent struct {
+	ev   Event
+	eng  *Engine
+	fn   func()
+	next *funcEvent
+}
+
+// OnEvent implements Handler: recycle first, then run, so fn may schedule
+// further closures (possibly reusing this very record).
+func (fe *funcEvent) OnEvent(clock.Picos) {
+	fn := fe.fn
+	fe.fn = nil
+	fe.next = fe.eng.freeFn
+	fe.eng.freeFn = fe
+	fn()
+}
+
+// tickerEvent is the standing event behind Ticker.
+type tickerEvent struct {
+	ev       Event
+	eng      *Engine
+	interval clock.Picos
+	fn       func(now clock.Picos) bool
+}
+
+// OnEvent implements Handler.
+func (te *tickerEvent) OnEvent(now clock.Picos) {
+	if te.fn(now) {
+		te.eng.Schedule(&te.ev, now+te.interval)
+	}
 }
 
 // Engine is the event loop. The zero value is ready to use.
 type Engine struct {
 	now    clock.Picos
 	seq    uint64
-	events eventHeap
+	heap   []*Event
 	fired  uint64
+	freeFn *funcEvent
 }
 
 // New returns a fresh engine with its clock at time zero.
@@ -59,17 +117,141 @@ func (e *Engine) Now() clock.Picos { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics: silently reordering time would corrupt the
-// DRAM timing model.
-func (e *Engine) At(t clock.Picos, fn func()) {
+// Next reports the timestamp of the earliest pending event, or clock.Never
+// when the queue is empty.
+func (e *Engine) Next() clock.Picos {
+	if len(e.heap) == 0 {
+		return clock.Never
+	}
+	return e.heap[0].at
+}
+
+// Schedule places ev in the queue at absolute time t, binding the event to
+// this engine until it fires or is canceled. If ev is already scheduled it
+// is moved in place — no allocation, no stale duplicate — and the move
+// counts as a fresh insertion for same-timestamp FIFO ordering. Scheduling
+// in the past (or with no handler bound) is a programming error and
+// panics: silently reordering time would corrupt the DRAM timing model.
+func (e *Engine) Schedule(ev *Event, t clock.Picos) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
+	if ev.h == nil {
+		panic("sim: event with no handler (missing Init)")
+	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	ev.at = t
+	ev.seq = e.seq
+	if ev.pos == 0 {
+		e.heap = append(e.heap, ev)
+		ev.pos = len(e.heap)
+		e.siftUp(len(e.heap) - 1)
+		return
+	}
+	// In place: a fresh seq means the event can only sink relative to
+	// equal-timestamp peers, but an earlier t can still float it up.
+	i := ev.pos - 1
+	if !e.siftUp(i) {
+		e.siftDown(i)
+	}
+}
+
+// ScheduleAfter places ev d picoseconds from now.
+func (e *Engine) ScheduleAfter(ev *Event, d clock.Picos) { e.Schedule(ev, e.now+d) }
+
+// Cancel removes ev from the queue. Canceling an unscheduled event is a
+// no-op, so components may cancel defensively.
+func (e *Engine) Cancel(ev *Event) {
+	if ev.pos == 0 {
+		return
+	}
+	i := ev.pos - 1
+	n := len(e.heap) - 1
+	ev.pos = 0
+	if i == n {
+		e.heap[n] = nil
+		e.heap = e.heap[:n]
+		return
+	}
+	moved := e.heap[n]
+	e.heap[i] = moved
+	moved.pos = i + 1
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if !e.siftUp(i) {
+		e.siftDown(i)
+	}
+}
+
+// less orders the heap: earliest timestamp first, FIFO among equals.
+func (e *Engine) less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap above index i; it reports whether i moved.
+func (e *Engine) siftUp(i int) bool {
+	ev := e.heap[i]
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := e.heap[parent]
+		if !e.less(ev, p) {
+			break
+		}
+		e.heap[i] = p
+		p.pos = i + 1
+		i = parent
+		moved = true
+	}
+	if moved {
+		e.heap[i] = ev
+		ev.pos = i + 1
+	}
+	return moved
+}
+
+// siftDown restores the heap below index i.
+func (e *Engine) siftDown(i int) {
+	ev := e.heap[i]
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && e.less(e.heap[right], e.heap[left]) {
+			child = right
+		}
+		c := e.heap[child]
+		if !e.less(c, ev) {
+			break
+		}
+		e.heap[i] = c
+		c.pos = i + 1
+		i = child
+	}
+	e.heap[i] = ev
+	ev.pos = i + 1
+}
+
+// At schedules fn to run at absolute time t.
+func (e *Engine) At(t clock.Picos, fn func()) {
+	fe := e.freeFn
+	if fe == nil {
+		fe = &funcEvent{eng: e}
+		fe.ev.Init(fe)
+	} else {
+		e.freeFn = fe.next
+		fe.next = nil
+	}
+	fe.fn = fn
+	e.Schedule(&fe.ev, t)
 }
 
 // After schedules fn to run d picoseconds from now.
@@ -78,13 +260,23 @@ func (e *Engine) After(d clock.Picos, fn func()) { e.At(e.now+d, fn) }
 // Step fires the single earliest event. It reports false when no events
 // remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[0] = last
+	last.pos = 1
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.pos = 0
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	ev.h.OnEvent(e.now)
 	return true
 }
 
@@ -95,10 +287,9 @@ func (e *Engine) Run() {
 }
 
 // RunUntil fires events with timestamps <= deadline, leaving later events
-// queued. The engine clock ends at the last fired event (or deadline if
-// nothing fired beyond it is needed by the caller).
+// queued. The engine clock ends at the deadline.
 func (e *Engine) RunUntil(deadline clock.Picos) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -115,16 +306,13 @@ func (e *Engine) RunWhile(cond func() bool) {
 
 // Ticker invokes fn every interval until fn reports false. The first
 // invocation happens one interval from now. Tickers are used for periodic
-// observers such as bandwidth samplers and the OS scheduling quantum.
+// observers such as bandwidth samplers and the OS scheduling quantum; the
+// engine reuses one standing event per ticker, so ticking never allocates.
 func (e *Engine) Ticker(interval clock.Picos, fn func(now clock.Picos) bool) {
 	if interval <= 0 {
 		panic("sim: non-positive ticker interval")
 	}
-	var tick func()
-	tick = func() {
-		if fn(e.now) {
-			e.After(interval, tick)
-		}
-	}
-	e.After(interval, tick)
+	te := &tickerEvent{eng: e, interval: interval, fn: fn}
+	te.ev.Init(te)
+	e.Schedule(&te.ev, e.now+interval)
 }

@@ -1,0 +1,165 @@
+// Package sweep fans independent simulations across goroutines with
+// deterministic result ordering.
+//
+// A sweep job builds its own system.System (or any other self-contained
+// state), runs it, and returns a result; because every simulated machine
+// is single-threaded and fully deterministic, running jobs concurrently
+// cannot change any result — only wall-clock time. Map therefore returns
+// exactly the slice a serial loop would have produced, byte for byte,
+// regardless of the worker count. Experiments that print tables render
+// from the ordered slice, so quick/full harness output is identical in
+// serial and parallel runs.
+//
+// The default worker count is GOMAXPROCS; SetWorkers (or the CLIs'
+// -workers flag) overrides it process-wide, with 1 forcing the serial
+// path for determinism audits.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride is the process-wide worker count; <= 0 selects
+// GOMAXPROCS.
+var workerOverride atomic.Int64
+
+// SetWorkers overrides the default worker count for subsequent sweeps.
+// n <= 0 restores the GOMAXPROCS default. It is intended for CLI flags
+// and test setup, not for concurrent reconfiguration mid-sweep.
+func SetWorkers(n int) { workerOverride.Store(int64(n)) }
+
+// Workers reports the worker count sweeps currently use.
+func Workers() int {
+	if n := int(workerOverride.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs job(i) for every i in [0, n) across the default worker count
+// and returns the results in index order.
+func Map[R any](n int, job func(i int) R) []R {
+	return MapN(n, Workers(), job)
+}
+
+// MapN is Map with an explicit worker count (workers <= 0 selects
+// GOMAXPROCS). Jobs must be independent: each builds its own state and
+// touches no shared mutables. A panicking job does not crash the process
+// from a worker goroutine; the lowest-index panic is re-raised on the
+// caller once all workers have stopped.
+func MapN[R any](n, workers int, job func(i int) R) []R {
+	out := make([]R, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := range out {
+			out[i] = job(i)
+		}
+		return out
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicAt = -1
+		panicV  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !runOne(out, i, job, &panicMu, &panicAt, &panicV) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicAt >= 0 {
+		panic(fmt.Sprintf("sweep: job %d panicked: %v", panicAt, panicV))
+	}
+	return out
+}
+
+// runOne executes one job, capturing a panic instead of killing the
+// process. It reports whether the worker should continue.
+func runOne[R any](out []R, i int, job func(int) R, mu *sync.Mutex, at *int, val *any) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			mu.Lock()
+			if *at < 0 || i < *at {
+				*at = i
+				*val = r
+			}
+			mu.Unlock()
+			ok = false
+		}
+	}()
+	out[i] = job(i)
+	return true
+}
+
+// Grid indexes the cross product of experiment dimensions, so a sweep
+// over (direction x size x design) flattens to one job index and prints
+// back in nested-loop order.
+type Grid struct {
+	dims []int
+}
+
+// NewGrid builds a grid; the first dimension varies slowest, exactly like
+// the outermost loop of the serial nest it replaces.
+func NewGrid(dims ...int) Grid {
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("sweep: non-positive grid dimension %v", dims))
+		}
+	}
+	return Grid{dims: append([]int(nil), dims...)}
+}
+
+// Size is the total number of points.
+func (g Grid) Size() int {
+	n := 1
+	for _, d := range g.dims {
+		n *= d
+	}
+	return n
+}
+
+// Coord recovers dimension k's index from flat index i.
+func (g Grid) Coord(i, k int) int {
+	for j := len(g.dims) - 1; j > k; j-- {
+		i /= g.dims[j]
+	}
+	return i % g.dims[k]
+}
+
+// Index flattens per-dimension coordinates.
+func (g Grid) Index(coords ...int) int {
+	if len(coords) != len(g.dims) {
+		panic("sweep: coordinate count mismatch")
+	}
+	i := 0
+	for k, c := range coords {
+		if c < 0 || c >= g.dims[k] {
+			panic(fmt.Sprintf("sweep: coordinate %d out of range [0,%d)", c, g.dims[k]))
+		}
+		i = i*g.dims[k] + c
+	}
+	return i
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := MapN(100, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSerial(t *testing.T) {
+	job := func(i int) uint64 {
+		// A deterministic per-index computation with enough work that
+		// goroutines genuinely interleave.
+		h := uint64(i) + 0x9e3779b97f4a7c15
+		for j := 0; j < 10000; j++ {
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+		}
+		return h
+	}
+	serial := MapN(64, 1, job)
+	parallel := MapN(64, 8, job)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("out[%d]: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	var counts [257]atomic.Int32
+	MapN(len(counts), 8, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if got := Map(0, func(int) int { t.Fatal("job ran"); return 0 }); len(got) != 0 {
+		t.Fatalf("Map(0) returned %d results", len(got))
+	}
+}
+
+func TestMapPanicPropagatesLowestIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	MapN(16, 4, func(i int) int {
+		if i%3 == 0 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() <= 0 {
+		t.Errorf("Workers() = %d with default", Workers())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := NewGrid(2, 3, 4)
+	if g.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", g.Size())
+	}
+	// Exhaustive round trip, in nested-loop order.
+	i := 0
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 3; b++ {
+			for c := 0; c < 4; c++ {
+				if got := g.Index(a, b, c); got != i {
+					t.Fatalf("Index(%d,%d,%d) = %d, want %d", a, b, c, got, i)
+				}
+				if x, y, z := g.Coord(i, 0), g.Coord(i, 1), g.Coord(i, 2); x != a || y != b || z != c {
+					t.Fatalf("Coord(%d) = (%d,%d,%d), want (%d,%d,%d)", i, x, y, z, a, b, c)
+				}
+				i++
+			}
+		}
+	}
+}
+
+func TestGridPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-dim":     func() { NewGrid(2, 0) },
+		"coord-count":  func() { NewGrid(2, 2).Index(1) },
+		"coord-range":  func() { NewGrid(2, 2).Index(1, 2) },
+		"negative-dim": func() { NewGrid(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
