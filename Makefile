@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test test-slow bench
 
 # The tier-1 gate: formatting, static checks, build, tests.
 check: fmt vet build test
@@ -19,8 +19,16 @@ build:
 test:
 	$(GO) test ./...
 
+# The nightly tier: everything above plus the slow-tagged suites — the
+# experiment-wide serial-vs-parallel determinism audit and the golden
+# command-stream regressions at full coverage.
+test-slow:
+	$(GO) vet -tags slow ./...
+	$(GO) test -tags slow ./...
+
 # One iteration of every paper-figure benchmark plus the scheduler
-# micro-benchmarks.
+# micro-benchmarks, captured as test2json streams for trend tracking.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x .
-	$(GO) test -bench=Engine -benchmem ./internal/sim
+	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x . > BENCH_figs.json
+	$(GO) test -json -run '^$$' -bench=Engine -benchmem ./internal/sim > BENCH_engine.json
+	@echo "wrote BENCH_figs.json and BENCH_engine.json"

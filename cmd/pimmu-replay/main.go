@@ -1,0 +1,240 @@
+// Command pimmu-replay records, generates, inspects and replays memory
+// traces at the mem.Port boundary.
+//
+// Usage:
+//
+//	pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
+//	pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
+//	pimmu-replay inspect [-n N] FILE
+//	pimmu-replay replay  [-design D|all] [-workers N] [-inflight N] [-noncacheable] FILE
+//
+// record captures every request a transfer presents to the memory port
+// of the chosen design; gen synthesizes one of the built-in application
+// patterns (stream, strided, chase, mixed, zipf); inspect prints a
+// trace's summary and head/tail records; replay injects a trace into a
+// fresh machine (or, with -design all, into every design point in
+// parallel) at its recorded inter-arrival times and reports bandwidth
+// and latency. Replays of the same trace are bit-identical across runs
+// and across -workers counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "pimmu-replay: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-replay: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
+  pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
+  pimmu-replay inspect [-n N] FILE
+  pimmu-replay replay  [-design D|all] [-workers N] [-inflight N] [-noncacheable] FILE
+`)
+}
+
+// cmdRecord runs one transfer with a recorder tapped onto the memory
+// port and writes the captured stream.
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	designFlag := fs.String("design", "pim-mmu", "design point: base, base+d, base+d+h, pim-mmu")
+	kb := fs.Uint64("kb", 256, "total transfer size in KiB")
+	dirFlag := fs.String("dir", "to", "direction: to (DRAM->PIM) or from (PIM->DRAM)")
+	out := fs.String("o", "", "output trace file (required)")
+	text := fs.Bool("text", false, "write the human-readable text form")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("record: -o FILE is required")
+	}
+	design, err := system.ParseDesign(*designFlag)
+	if err != nil {
+		return err
+	}
+	dir := core.DRAMToPIM
+	if *dirFlag == "from" {
+		dir = core.PIMToDRAM
+	} else if *dirFlag != "to" {
+		return fmt.Errorf("record: unknown direction %q", *dirFlag)
+	}
+
+	s := system.MustNew(system.DefaultConfig(design))
+	rec := s.RecordTrace()
+	per := (*kb << 10) / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	if per < 64 {
+		per = 64
+	}
+	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
+	s.StopTrace()
+
+	if err := trace.WriteFile(*out, rec.Records(), *text); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d requests over %v (%v, %v, %.2f GB/s) -> %s\n",
+		rec.Len(), trace.Duration(rec.Records()), design, dir, res.Throughput()/1e9, *out)
+	return nil
+}
+
+// cmdGen synthesizes a built-in pattern and writes it.
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	pattern := fs.String("pattern", "stream", "stream, strided, chase, mixed, or zipf")
+	n := fs.Int("n", 1<<14, "records to generate")
+	gapNS := fs.Int64("gap", 1, "inter-arrival gap in nanoseconds")
+	seed := fs.Uint64("seed", 1, "PRNG seed for the randomized patterns")
+	out := fs.String("o", "", "output trace file (required)")
+	text := fs.Bool("text", false, "write the human-readable text form")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -o FILE is required")
+	}
+	cfg := trace.DefaultGenConfig()
+	cfg.Records = *n
+	cfg.Gap = clock.Picos(*gapNS) * clock.Nanosecond
+	cfg.Seed = *seed
+	recs, err := trace.Generate(trace.Pattern(*pattern), cfg)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFile(*out, recs, *text); err != nil {
+		return err
+	}
+	sum := trace.Summarize(recs)
+	fmt.Printf("generated %s: %d records, %d reads / %d writes, %v span -> %s\n",
+		*pattern, sum.Records, sum.Reads, sum.Writes, sum.Duration, *out)
+	return nil
+}
+
+// cmdInspect prints a trace summary and its head/tail records.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	n := fs.Int("n", 8, "records to print from head and tail")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect: want exactly one trace file")
+	}
+	recs, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *n < 0 {
+		*n = 0
+	}
+	sum := trace.Summarize(recs)
+	fmt.Printf("records   %d (%d reads, %d writes, %d PIM-region)\n",
+		sum.Records, sum.Reads, sum.Writes, sum.PIMRecords)
+	fmt.Printf("bytes     %d read, %d written\n", sum.BytesRead, sum.BytesWritten)
+	fmt.Printf("span      %v issue window\n", sum.Duration)
+	fmt.Printf("addresses 0x%x .. 0x%x\n", sum.MinAddr, sum.MaxAddr)
+	head := *n
+	if head > len(recs) {
+		head = len(recs)
+	}
+	fmt.Println("-- head --")
+	for _, r := range recs[:head] {
+		fmt.Println(" ", r)
+	}
+	if len(recs) > 2**n {
+		fmt.Println("  ...")
+		fmt.Println("-- tail --")
+		for _, r := range recs[len(recs)-*n:] {
+			fmt.Println(" ", r)
+		}
+	}
+	return nil
+}
+
+// cmdReplay injects a trace into one design point, or sweeps all four
+// in parallel.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	designFlag := fs.String("design", "pim-mmu", "design point, or all")
+	workers := fs.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
+	inflight := fs.Int("inflight", 64, "max outstanding line requests")
+	noncache := fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region records")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay: want exactly one trace file")
+	}
+	recs, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := trace.DefaultReplayConfig()
+	cfg.MaxInFlight = *inflight
+	cfg.Cacheable = !*noncache
+	sweep.SetWorkers(*workers)
+
+	if *designFlag == "all" {
+		designs := system.Designs()
+		results := sweep.Map(len(designs), func(i int) trace.Result {
+			return replayOn(designs[i], recs, cfg)
+		})
+		fmt.Printf("%d records, max %d in flight\n\n", len(recs), cfg.MaxInFlight)
+		fmt.Printf("%-12s %12s %12s %12s %12s\n", "design", "GB/s", "lat (ns)", "retries", "slip")
+		for i, d := range designs {
+			r := results[i]
+			fmt.Printf("%-12v %12.2f %12.0f %12d %12v\n",
+				d, r.Throughput()/1e9, r.AvgLatency().Nanoseconds(), r.Retries, r.Slip)
+		}
+		return nil
+	}
+
+	design, err := system.ParseDesign(*designFlag)
+	if err != nil {
+		return err
+	}
+	r := replayOn(design, recs, cfg)
+	fmt.Printf("design     %v\n", design)
+	fmt.Printf("records    %d (%d line requests)\n", len(recs), r.Issued)
+	fmt.Printf("bytes      %d read, %d written\n", r.BytesRead, r.BytesWritten)
+	fmt.Printf("duration   %v\n", r.Duration())
+	fmt.Printf("throughput %.2f GB/s\n", r.Throughput()/1e9)
+	fmt.Printf("latency    %v avg\n", r.AvgLatency())
+	fmt.Printf("pressure   %d retries, %v max slip behind the trace clock\n", r.Retries, r.Slip)
+	return nil
+}
+
+// replayOn replays recs on a fresh machine of the given design.
+func replayOn(d system.Design, recs []trace.Record, cfg trace.ReplayConfig) trace.Result {
+	s := system.MustNew(system.DefaultConfig(d))
+	r, err := s.RunReplay(recs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

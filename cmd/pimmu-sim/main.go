@@ -40,18 +40,9 @@ func main() {
 		return
 	}
 
-	var design system.Design
-	switch *designFlag {
-	case "base":
-		design = system.Base
-	case "base+d":
-		design = system.BaseD
-	case "base+d+h":
-		design = system.BaseDH
-	case "pim-mmu":
-		design = system.PIMMMU
-	default:
-		fmt.Fprintf(os.Stderr, "pimmu-sim: unknown design %q\n", *designFlag)
+	design, err := system.ParseDesign(*designFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
 		os.Exit(2)
 	}
 	runOne(design, dir, *mb)

@@ -36,11 +36,9 @@ func main() {
 	side := flag.String("side", "pim", "device set to trace: pim or dram")
 	flag.Parse()
 
-	design := system.PIMMMU
-	if *designFlag == "base" {
-		design = system.Base
-	} else if *designFlag != "pim-mmu" {
-		fmt.Fprintf(os.Stderr, "pimmu-trace: unknown design %q\n", *designFlag)
+	design, err := system.ParseDesign(*designFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-trace: %v\n", err)
 		os.Exit(2)
 	}
 

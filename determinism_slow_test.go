@@ -1,0 +1,54 @@
+//go:build slow
+
+// The full determinism audit (`make test-slow`): every simulation-backed
+// harness experiment — fig4, fig6, fig8, fig13a, fig13b, fig14, fig15a,
+// fig15b, fig16, headline, replay — must render byte-identical output
+// between a serial sweep (-workers 1) and a parallel one, and across
+// reruns. The fast tier keeps one representative (Fig8, in
+// determinism_test.go); this tag extends the check to the whole suite,
+// so any experiment that grows shared mutable state or
+// iteration-order dependence fails the nightly target.
+package pimmmu_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sweep"
+)
+
+// staticExperiments render configuration tables without running a
+// simulation; there is nothing to sweep.
+var staticExperiments = map[string]bool{"table1": true, "area": true}
+
+func TestEveryExperimentSerialParallelIdentical(t *testing.T) {
+	for _, e := range harness.All() {
+		if staticExperiments[e.Name] {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			defer sweep.SetWorkers(0)
+			render := func(workers int) []byte {
+				sweep.SetWorkers(workers)
+				var buf bytes.Buffer
+				e.Run(&buf, harness.Quick)
+				return buf.Bytes()
+			}
+			serial := render(1)
+			parallel := render(8)
+			rerun := render(8)
+			if len(serial) == 0 {
+				t.Fatal("experiment rendered nothing")
+			}
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("parallel output differs from serial\n--- serial ---\n%s--- parallel ---\n%s",
+					serial, parallel)
+			}
+			if !bytes.Equal(parallel, rerun) {
+				t.Errorf("rerun differs\n--- first ---\n%s--- second ---\n%s", parallel, rerun)
+			}
+		})
+	}
+}

@@ -24,9 +24,16 @@ func fingerprint(s *system.System, r system.XferResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "design=%v dir=%v bytes=%d dur=%d fired=%d now=%d\n",
 		r.Design, r.Dir, r.Bytes, r.Duration, s.Eng.Fired(), s.Eng.Now())
+	machineFingerprint(&b, s)
+	return b.String()
+}
+
+// machineFingerprint dumps every channel counter and the LLC counters,
+// the per-machine half shared by the transfer and replay fingerprints.
+func machineFingerprint(b *strings.Builder, s *system.System) {
 	dump := func(name string, st dram.Stats) {
 		for i, c := range st.Channels {
-			fmt.Fprintf(&b, "%s[%d] rd=%d wr=%d act=%d pre=%d ref=%d hit=%d miss=%d conf=%d br=%d bw=%d qf=%d\n",
+			fmt.Fprintf(b, "%s[%d] rd=%d wr=%d act=%d pre=%d ref=%d hit=%d miss=%d conf=%d br=%d bw=%d qf=%d\n",
 				name, i, c.Reads, c.Writes, c.Acts, c.Pres, c.Refs,
 				c.RowHits, c.RowMisses, c.RowConflicts,
 				c.BytesRead, c.BytesWritten, c.QueueFull)
@@ -35,8 +42,7 @@ func fingerprint(s *system.System, r system.XferResult) string {
 	dump("dram", s.Mem.DRAM.Stats())
 	dump("pim", s.Mem.PIM.Stats())
 	ls := s.Mem.LLC.Stats()
-	fmt.Fprintf(&b, "llc hits=%d misses=%d\n", ls.Hits, ls.Misses)
-	return b.String()
+	fmt.Fprintf(b, "llc hits=%d misses=%d\n", ls.Hits, ls.Misses)
 }
 
 // runOnce builds a fresh machine and runs one transfer.
@@ -87,6 +93,9 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 
 // TestHarnessExperimentParallelMatchesSerial renders a full harness
 // experiment both ways and compares the printed tables byte for byte.
+// Fig8 is the fast tier-1 representative; the slow suite
+// (determinism_slow_test.go, `make test-slow`) extends the same check
+// to every experiment.
 func TestHarnessExperimentParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed experiment")

@@ -86,6 +86,7 @@ func All() []Experiment {
 		{"fig16", "PrIM end-to-end breakdown (Fig. 16)", Fig16},
 		{"area", "implementation overhead (Section VI-C)", Area},
 		{"headline", "headline speedups (abstract numbers)", Headline},
+		{"replay", "trace-driven workload replay (bandwidth/latency)", Replay},
 	}
 }
 

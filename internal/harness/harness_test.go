@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func TestAllExperimentsListed(t *testing.T) {
 	want := []string{"table1", "fig4", "fig6", "fig8", "fig13a", "fig13b",
-		"fig14", "fig15a", "fig15b", "fig16", "area", "headline"}
+		"fig14", "fig15a", "fig15b", "fig16", "area", "headline", "replay"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d experiments, want %d", len(got), len(want))
@@ -77,6 +80,59 @@ func TestFig8EndToEnd(t *testing.T) {
 	}
 }
 
+// Replay is the other cheap simulation-backed experiment; run it end to
+// end and validate every workload row renders with a sane gain column.
+func TestReplayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	var buf bytes.Buffer
+	Replay(&buf, Quick)
+	out := buf.String()
+	for _, wl := range replayWorkloads() {
+		if !strings.Contains(out, wl.name) {
+			t.Errorf("Replay output missing workload %q:\n%s", wl.name, out)
+		}
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "GB/s") {
+		t.Errorf("Replay output missing gain/throughput columns:\n%s", out)
+	}
+}
+
+// The replay experiment's generator configs must be valid at both
+// scales and for every workload tweak, or the sweep would panic
+// mid-experiment.
+func TestReplayWorkloadConfigsValid(t *testing.T) {
+	for _, sc := range []Scale{Quick, Full} {
+		base := replayGenConfig(sc)
+		if err := base.Validate(); err != nil {
+			t.Fatalf("%v: base config invalid: %v", sc, err)
+		}
+		if sc == Full && base.Records <= replayGenConfig(Quick).Records {
+			t.Error("full scale does not grow the workload")
+		}
+		for _, wl := range replayWorkloads() {
+			cfg := base
+			if wl.tweak != nil {
+				wl.tweak(&cfg)
+			}
+			if _, err := trace.Generate(wl.pattern, cfg); err != nil {
+				t.Errorf("%v %s: %v", sc, wl.name, err)
+			}
+		}
+	}
+}
+
+func TestReplayWorkloadNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, wl := range replayWorkloads() {
+		if seen[wl.name] {
+			t.Errorf("duplicate workload name %q", wl.name)
+		}
+		seen[wl.name] = true
+	}
+}
+
 func TestPerCoreFloor(t *testing.T) {
 	s := newSystem(0)
 	if got := perCore(s, 1); got != 64 {
@@ -84,6 +140,39 @@ func TestPerCoreFloor(t *testing.T) {
 	}
 	if got := perCore(s, 512*128); got != 128 {
 		t.Errorf("perCore = %d, want 128", got)
+	}
+}
+
+func TestFig15Sizes(t *testing.T) {
+	q := fig15Sizes(Quick)
+	f := fig15Sizes(Full)
+	if len(f) <= len(q) {
+		t.Errorf("full sweep (%d sizes) not larger than quick (%d)", len(f), len(q))
+	}
+	for _, sizes := range [][]uint64{q, f} {
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i] <= sizes[i-1] {
+				t.Errorf("sizes not increasing: %v", sizes)
+			}
+		}
+	}
+	if f[len(f)-1] != 256<<20 {
+		t.Errorf("full sweep tops out at %d, want the paper's 256 MB", f[len(f)-1])
+	}
+}
+
+func TestWindowBucketsNormalizes(t *testing.T) {
+	a := stats.NewSeries(10)
+	b := stats.NewSeries(10)
+	a.Add(5, 30) // bucket 0
+	b.Add(5, 10)
+	a.Add(15, 0) // bucket 1: empty total stays all-zero
+	rows := windowBuckets([]*stats.Series{a, b}, 2)
+	if rows[0][0] != 75 || rows[0][1] != 25 {
+		t.Errorf("bucket 0 shares = %v, want [75 25]", rows[0])
+	}
+	if rows[1][0] != 0 || rows[1][1] != 0 {
+		t.Errorf("empty bucket shares = %v, want zeros", rows[1])
 	}
 }
 

@@ -113,6 +113,12 @@ type System struct {
 	// Access, so WaitSpace can register there (mem.Port contract).
 	lastFull *dram.Channel
 
+	// tap, when set, observes every request accepted at the mem.Port
+	// boundary — CPU, DCE and contender traffic alike — before any queue
+	// or cache side effect becomes visible to the caller. Trace recording
+	// attaches here.
+	tap func(now clock.Picos, r *mem.Req)
+
 	// hitQ defers LLC-hit completions: the hit latency is a constant, so
 	// completions are FIFO and one standing event drains the queue — no
 	// per-hit event allocation.
@@ -185,6 +191,18 @@ func MustNew(eng *sim.Engine, cfg Config) *System {
 // Config reports the configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// SetTap installs (or, with nil, removes) the port-boundary observer.
+// The tap sees every accepted request exactly once, at its acceptance
+// time; rejected TryEnqueue attempts are not reported.
+func (s *System) SetTap(fn func(now clock.Picos, r *mem.Req)) { s.tap = fn }
+
+// accepted reports one request to the tap.
+func (s *System) accepted(r *mem.Req) {
+	if s.tap != nil {
+		s.tap(s.eng.Now(), r)
+	}
+}
+
 // channelFor returns the controller serving a decoded location.
 func (s *System) channelFor(space mem.Space, loc addrmap.Loc) *dram.Channel {
 	if space == mem.SpacePIM {
@@ -220,11 +238,13 @@ func (s *System) TryEnqueue(r *mem.Req) bool {
 			s.lastFull = ch
 			return false
 		}
+		s.accepted(r)
 		return true
 	}
 
 	// Cacheable DRAM path.
 	if s.LLC.Contains(r.Addr) {
+		s.accepted(r)
 		s.LLC.Access(r.Addr, r.Kind == mem.Write) // hit: update LRU/dirty
 		if r.OnDone != nil {
 			at := s.eng.Now() + s.cfg.LLCHitLatency
@@ -248,6 +268,7 @@ func (s *System) TryEnqueue(r *mem.Req) bool {
 		s.lastFull = ch
 		return false
 	}
+	s.accepted(r)
 	res := s.LLC.Access(r.Addr, r.Kind == mem.Write)
 	if res.HasWriteback {
 		s.issueWriteback(res.Writeback, r.SrcID)

@@ -184,6 +184,61 @@ func TestBackpressurePropagates(t *testing.T) {
 	}
 }
 
+// The port tap must see every accepted request exactly once — across
+// the non-cacheable, LLC-hit and LLC-miss paths — and never a rejected
+// one.
+func TestTapSeesEveryAcceptedRequestOnce(t *testing.T) {
+	eng := sim.New()
+	cfg := smallConfig(MapLocalityBoth)
+	cfg.DRAM.QueueDepth = 4
+	cfg.DRAM.WriteDrainHi = 3
+	cfg.DRAM.WriteDrainLo = 1
+	s := MustNew(eng, cfg)
+	var tapped []uint64
+	s.SetTap(func(now clock.Picos, r *mem.Req) {
+		if now != eng.Now() {
+			t.Errorf("tap at %v, engine at %v", now, eng.Now())
+		}
+		tapped = append(tapped, r.Addr)
+	})
+	accepted := 0
+	enqueue := func(r *mem.Req) {
+		if s.TryEnqueue(r) {
+			accepted++
+		}
+		eng.Run()
+	}
+	enqueue(&mem.Req{Addr: 0x1000, Kind: mem.Read, Cacheable: true})  // miss
+	enqueue(&mem.Req{Addr: 0x1000, Kind: mem.Read, Cacheable: true})  // hit
+	enqueue(&mem.Req{Addr: 0x2000, Kind: mem.Read, Cacheable: false}) // non-cacheable
+	enqueue(&mem.Req{Addr: mem.PIMBase, Kind: mem.Write})             // PIM region
+	if accepted != 4 || len(tapped) != accepted {
+		t.Fatalf("tap saw %d requests, %d accepted", len(tapped), accepted)
+	}
+	// Saturate a queue: rejections must not reach the tap.
+	before := len(tapped)
+	rejected := 0
+	for i := 0; i < 10; i++ {
+		if !s.TryEnqueue(&mem.Req{Addr: uint64(i * 64), Kind: mem.Read, Cacheable: false}) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("queue never filled")
+	}
+	if got := len(tapped) - before; got != 10-rejected {
+		t.Errorf("tap saw %d of %d accepted requests under pressure", got, 10-rejected)
+	}
+	// Detach: no further observations.
+	eng.Run()
+	s.SetTap(nil)
+	after := len(tapped)
+	s.TryEnqueue(&mem.Req{Addr: 0x3000, Kind: mem.Read, Cacheable: false})
+	if len(tapped) != after {
+		t.Error("detached tap still observing")
+	}
+}
+
 func TestWaitSpaceWithoutFailureFiresImmediately(t *testing.T) {
 	eng := sim.New()
 	s := MustNew(eng, smallConfig(MapLocalityBoth))

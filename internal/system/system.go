@@ -20,6 +20,7 @@ import (
 	"repro/internal/pim"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/xfer"
 )
 
@@ -56,6 +57,22 @@ func (d Design) String() string {
 
 // Designs lists the ablation order of Fig. 15.
 func Designs() []Design { return []Design{Base, BaseD, BaseDH, PIMMMU} }
+
+// ParseDesign parses the CLI spelling of a design point (the lower-case
+// forms of String: "base", "base+d", "base+d+h", "pim-mmu").
+func ParseDesign(s string) (Design, error) {
+	switch s {
+	case "base":
+		return Base, nil
+	case "base+d":
+		return BaseD, nil
+	case "base+d+h":
+		return BaseDH, nil
+	case "pim-mmu":
+		return PIMMMU, nil
+	}
+	return 0, fmt.Errorf("system: unknown design %q (want base, base+d, base+d+h, or pim-mmu)", s)
+}
 
 // UsesDCE reports whether the design offloads transfers to the engine.
 func (d Design) UsesDCE() bool { return d != Base }
@@ -248,6 +265,46 @@ func (s *System) RunMemcpy(bytes uint64) XferResult {
 	s.Eng.RunWhile(func() bool { return !done })
 	s.drain()
 	return out
+}
+
+// RecordTrace attaches a fresh trace recorder at the memory-port
+// boundary: every subsequently accepted request (CPU, DCE and contender
+// traffic alike) is captured as one trace record. StopTrace detaches
+// it; the recorder's Records are then ready for trace.Encode or
+// RunReplay.
+func (s *System) RecordTrace() *trace.Recorder {
+	rec := trace.NewRecorder()
+	s.Mem.SetTap(rec.Tap)
+	return rec
+}
+
+// StopTrace detaches any attached trace recorder.
+func (s *System) StopTrace() { s.Mem.SetTap(nil) }
+
+// StartReplay launches a trace replay through the memory port and calls
+// onDone at completion. It does not run the engine.
+func (s *System) StartReplay(recs []trace.Record, cfg trace.ReplayConfig, onDone func(trace.Result)) error {
+	rp, err := trace.NewReplayer(s.Eng, s.Mem, recs, cfg)
+	if err != nil {
+		return err
+	}
+	rp.Start(onDone)
+	return nil
+}
+
+// RunReplay executes a trace replay to completion and returns its
+// result. Replayed runs report through the same channel/LLC statistics
+// as every other workload, so bandwidth and latency come from the same
+// counters the figures use.
+func (s *System) RunReplay(recs []trace.Record, cfg trace.ReplayConfig) (trace.Result, error) {
+	var out trace.Result
+	done := false
+	if err := s.StartReplay(recs, cfg, func(r trace.Result) { out = r; done = true }); err != nil {
+		return trace.Result{}, err
+	}
+	s.Eng.RunWhile(func() bool { return !done })
+	s.drain()
+	return out, nil
 }
 
 // drain runs remaining completion events (posted writes, refreshes in

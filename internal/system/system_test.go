@@ -1,6 +1,7 @@
 package system
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/clock"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/memsys"
+	"repro/internal/trace"
 )
 
 // smallCfg shrinks the machine for fast tests.
@@ -207,6 +209,93 @@ func TestInvalidConfigRejected(t *testing.T) {
 	cfg.Mem.DRAM.Geometry.Channels = 3
 	if _, err := New(cfg); err == nil {
 		t.Error("3 channels accepted")
+	}
+}
+
+func TestParseDesign(t *testing.T) {
+	good := map[string]Design{
+		"base": Base, "base+d": BaseD, "base+d+h": BaseDH, "pim-mmu": PIMMMU,
+	}
+	for s, want := range good {
+		if d, err := ParseDesign(s); err != nil || d != want {
+			t.Errorf("ParseDesign(%q) = %v, %v; want %v", s, d, err, want)
+		}
+	}
+	for _, s := range []string{"", "Base", "pimmmu", "all", "base+d+h+p"} {
+		if _, err := ParseDesign(s); err == nil {
+			t.Errorf("ParseDesign(%q) accepted", s)
+		}
+	}
+	// Every canonical spelling round-trips through the parser.
+	for _, d := range Designs() {
+		s := strings.ToLower(d.String())
+		s = strings.ReplaceAll(s, "base+d+h+p", "pim-mmu")
+		if got, err := ParseDesign(s); err != nil || got != d {
+			t.Errorf("round trip %v -> %q -> %v, %v", d, s, got, err)
+		}
+	}
+}
+
+// RecordTrace must capture exactly the transfer's port traffic: one
+// line record per staged line, non-decreasing timestamps, and the
+// DRAM-read/PIM-write split of a DRAM->PIM copy.
+func TestRecordTraceCapturesTransfer(t *testing.T) {
+	s := MustNew(smallCfg(PIMMMU))
+	rec := s.RecordTrace()
+	const n, per = 32, 2048
+	res := s.RunTransfer(s.TransferOp(core.DRAMToPIM, n, per))
+	s.StopTrace()
+	recs := rec.Records()
+	if err := trace.Validate(recs); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	sum := trace.Summarize(recs)
+	if sum.BytesRead != res.Bytes || sum.BytesWritten != res.Bytes {
+		t.Errorf("recorded %d read / %d written bytes for a %d-byte copy",
+			sum.BytesRead, sum.BytesWritten, res.Bytes)
+	}
+	if sum.PIMRecords != sum.Writes {
+		t.Errorf("%d PIM-region records but %d writes; DRAM->PIM writes must all target PIM",
+			sum.PIMRecords, sum.Writes)
+	}
+	// Detached: further traffic must not be captured.
+	s.RunTransfer(s.TransferOp(core.DRAMToPIM, n, per))
+	if rec.Len() != sum.Records {
+		t.Errorf("recorder grew to %d records after StopTrace", rec.Len())
+	}
+}
+
+// Replayed runs must report through the same counters as native
+// transfers and reject invalid inputs.
+func TestRunReplay(t *testing.T) {
+	s := MustNew(smallCfg(PIMMMU))
+	cfg := trace.DefaultGenConfig()
+	cfg.Records = 1024
+	cfg.FootprintLines = 4096
+	cfg.Base = s.Alloc(cfg.FootprintBytes(trace.PatternMixed))
+	recs := trace.MustGenerate(trace.PatternMixed, cfg)
+	a0 := s.Activity()
+	r, err := s.RunReplay(recs, trace.DefaultReplayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != 1024 || r.Throughput() <= 0 {
+		t.Errorf("degenerate replay result %+v", r)
+	}
+	d := s.Activity().Sub(a0)
+	if d.Reads == 0 {
+		t.Error("replay produced no DRAM command activity")
+	}
+	if d.CoreBusy != 0 {
+		t.Error("replay consumed CPU core time; injection bypasses the cores")
+	}
+
+	if _, err := s.RunReplay(recs, trace.ReplayConfig{MaxInFlight: 0}); err == nil {
+		t.Error("invalid replay config accepted")
+	}
+	bad := []trace.Record{{TSC: 0, Kind: trace.KindRead, Addr: 7, Bytes: 64}}
+	if _, err := s.RunReplay(bad, trace.DefaultReplayConfig()); err == nil {
+		t.Error("invalid trace accepted")
 	}
 }
 

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+)
+
+// Pattern names a built-in synthetic workload generator. The patterns
+// model the access shapes real applications present at the memory port:
+// dense streaming, strided array walks, dependent pointer chasing,
+// mixed read/write update loops, and skewed (zipfian) hot-set reuse.
+type Pattern string
+
+const (
+	// PatternStream is a dense sequential read stream.
+	PatternStream Pattern = "stream"
+	// PatternStrided reads every StrideLines-th line.
+	PatternStrided Pattern = "strided"
+	// PatternChase walks a random permutation cycle over the footprint,
+	// one dependent line per record.
+	PatternChase Pattern = "chase"
+	// PatternMixed issues uniform-random accesses over the footprint
+	// with WritePercent percent stores.
+	PatternMixed Pattern = "mixed"
+	// PatternZipf reads a zipf-distributed hot set: a few lines absorb
+	// most of the traffic.
+	PatternZipf Pattern = "zipf"
+)
+
+// Patterns lists every built-in generator in a stable order.
+func Patterns() []Pattern {
+	return []Pattern{PatternStream, PatternStrided, PatternChase, PatternMixed, PatternZipf}
+}
+
+// GenConfig parameterizes the synthetic generators. Zero values select
+// the defaults of DefaultGenConfig; every generator is fully
+// deterministic in (pattern, config).
+type GenConfig struct {
+	// Records is the number of records to emit.
+	Records int
+	// Base is the address of the first line of the footprint.
+	Base uint64
+	// FootprintLines bounds the address span (chase, mixed, zipf).
+	FootprintLines int
+	// StrideLines is the distance between consecutive accesses for
+	// the strided pattern.
+	StrideLines int
+	// Gap is the inter-arrival time between records.
+	Gap clock.Picos
+	// WritePercent is the store share (0-100) of the mixed pattern.
+	WritePercent int
+	// ZipfTheta is the zipf skew parameter (0 < theta < 1; larger is
+	// more skewed).
+	ZipfTheta float64
+	// Seed drives the deterministic PRNG of the randomized patterns.
+	Seed uint64
+}
+
+// DefaultGenConfig sizes a small but memory-system-exercising workload.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Records:        1 << 14,
+		FootprintLines: 1 << 16, // 4 MiB
+		StrideLines:    4,
+		Gap:            clock.Nanosecond,
+		WritePercent:   30,
+		ZipfTheta:      0.8,
+		Seed:           1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c GenConfig) Validate() error {
+	if c.Records <= 0 {
+		return fmt.Errorf("trace: non-positive record count %d", c.Records)
+	}
+	if c.Base%mem.LineBytes != 0 {
+		return fmt.Errorf("trace: base address 0x%x not line-aligned", c.Base)
+	}
+	if c.FootprintLines <= 0 {
+		return fmt.Errorf("trace: non-positive footprint %d lines", c.FootprintLines)
+	}
+	if c.StrideLines <= 0 {
+		return fmt.Errorf("trace: non-positive stride %d lines", c.StrideLines)
+	}
+	if c.Gap < 0 {
+		return fmt.Errorf("trace: negative inter-arrival gap %v", c.Gap)
+	}
+	if c.WritePercent < 0 || c.WritePercent > 100 {
+		return fmt.Errorf("trace: write percent %d outside [0,100]", c.WritePercent)
+	}
+	if c.ZipfTheta <= 0 || c.ZipfTheta >= 1 {
+		return fmt.Errorf("trace: zipf theta %g outside (0,1)", c.ZipfTheta)
+	}
+	return nil
+}
+
+// Generate builds the named synthetic pattern.
+func Generate(p Pattern, cfg GenConfig) ([]Record, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch p {
+	case PatternStream:
+		return genLinear(cfg, 1), nil
+	case PatternStrided:
+		return genLinear(cfg, cfg.StrideLines), nil
+	case PatternChase:
+		return genChase(cfg), nil
+	case PatternMixed:
+		return genMixed(cfg), nil
+	case PatternZipf:
+		return genZipf(cfg), nil
+	}
+	return nil, fmt.Errorf("trace: unknown pattern %q", p)
+}
+
+// MustGenerate is Generate for static configurations.
+func MustGenerate(p Pattern, cfg GenConfig) []Record {
+	recs, err := Generate(p, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return recs
+}
+
+// FootprintBytes reports the address span a pattern touches, for
+// allocating its backing buffer.
+func (c GenConfig) FootprintBytes(p Pattern) uint64 {
+	switch p {
+	case PatternStream:
+		return uint64(c.Records) * mem.LineBytes
+	case PatternStrided:
+		return uint64(c.Records) * uint64(c.StrideLines) * mem.LineBytes
+	default:
+		return uint64(c.FootprintLines) * mem.LineBytes
+	}
+}
+
+// genLinear emits one read per record at the given stride.
+func genLinear(cfg GenConfig, stride int) []Record {
+	recs := make([]Record, cfg.Records)
+	for i := range recs {
+		recs[i] = Record{
+			TSC:   clock.Picos(i) * cfg.Gap,
+			Kind:  KindRead,
+			Addr:  cfg.Base + uint64(i)*uint64(stride)*mem.LineBytes,
+			Bytes: mem.LineBytes,
+		}
+	}
+	return recs
+}
+
+// genChase builds a single-cycle random permutation over the footprint
+// (Sattolo's algorithm) and walks it, so every access depends on the
+// previous one and the stream has no spatial locality.
+func genChase(cfg GenConfig) []Record {
+	n := cfg.FootprintLines
+	next := make([]int32, n)
+	for i := range next {
+		next[i] = int32(i)
+	}
+	rng := splitmix64(cfg.Seed)
+	for i := n - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i)) // j in [0, i): Sattolo, one cycle
+		next[i], next[j] = next[j], next[i]
+	}
+	recs := make([]Record, cfg.Records)
+	cur := int32(0)
+	for i := range recs {
+		recs[i] = Record{
+			TSC:   clock.Picos(i) * cfg.Gap,
+			Kind:  KindRead,
+			Addr:  cfg.Base + uint64(cur)*mem.LineBytes,
+			Bytes: mem.LineBytes,
+		}
+		cur = next[cur]
+	}
+	return recs
+}
+
+// genMixed emits uniform-random accesses over the footprint with the
+// configured store share.
+func genMixed(cfg GenConfig) []Record {
+	rng := splitmix64(cfg.Seed)
+	recs := make([]Record, cfg.Records)
+	for i := range recs {
+		line := rng.next() % uint64(cfg.FootprintLines)
+		kind := KindRead
+		if int(rng.next()%100) < cfg.WritePercent {
+			kind = KindWrite
+		}
+		recs[i] = Record{
+			TSC:   clock.Picos(i) * cfg.Gap,
+			Kind:  kind,
+			Addr:  cfg.Base + line*mem.LineBytes,
+			Bytes: mem.LineBytes,
+		}
+	}
+	return recs
+}
+
+// genZipf emits reads whose line index follows a zipf(theta)
+// distribution over the footprint: rank r is drawn with probability
+// proportional to 1/r^theta, so a small hot set dominates.
+func genZipf(cfg GenConfig) []Record {
+	n := cfg.FootprintLines
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), cfg.ZipfTheta)
+		cum[i] = total
+	}
+	rng := splitmix64(cfg.Seed)
+	recs := make([]Record, cfg.Records)
+	for i := range recs {
+		u := rng.float64() * total
+		rank := sort.SearchFloat64s(cum, u)
+		if rank >= n {
+			rank = n - 1
+		}
+		recs[i] = Record{
+			TSC:   clock.Picos(i) * cfg.Gap,
+			Kind:  KindRead,
+			Addr:  cfg.Base + uint64(rank)*mem.LineBytes,
+			Bytes: mem.LineBytes,
+		}
+	}
+	return recs
+}
+
+// rngState is a splitmix64 PRNG: tiny, fast, and identical on every
+// platform, which the determinism contract requires.
+type rngState uint64
+
+func splitmix64(seed uint64) *rngState {
+	r := rngState(seed)
+	return &r
+}
+
+func (r *rngState) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rngState) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

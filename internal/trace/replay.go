@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// ReplayConfig parameterizes trace injection.
+type ReplayConfig struct {
+	// MaxInFlight caps outstanding requests, modelling the MSHR/queue
+	// capacity of the replayed agent. Issue stalls when the cap is
+	// reached and resumes on the next completion.
+	MaxInFlight int
+	// Cacheable routes DRAM-region records through the LLC, as CPU
+	// traffic would be; PIM-region records are always non-cacheable,
+	// matching the machine's routing rules.
+	Cacheable bool
+	// SrcID tags replayed requests for per-agent channel statistics.
+	SrcID int
+}
+
+// DefaultReplayConfig models a reasonably aggressive agent: enough
+// memory-level parallelism to saturate a channel, cacheable DRAM
+// traffic.
+func DefaultReplayConfig() ReplayConfig {
+	return ReplayConfig{MaxInFlight: 64, Cacheable: true, SrcID: 7}
+}
+
+// Validate reports configuration errors.
+func (c ReplayConfig) Validate() error {
+	if c.MaxInFlight <= 0 {
+		return fmt.Errorf("trace: non-positive MaxInFlight %d", c.MaxInFlight)
+	}
+	return nil
+}
+
+// Result aggregates one replay run. All counters are deterministic
+// functions of (trace, machine configuration, replay configuration).
+type Result struct {
+	Issued    uint64 // line requests issued
+	Completed uint64 // line requests completed
+
+	BytesRead    uint64
+	BytesWritten uint64
+
+	Start clock.Picos // engine time the replay began
+	End   clock.Picos // engine time the last completion arrived
+
+	// LatencySum accumulates issue-to-completion time over all
+	// requests; AvgLatency reports the mean.
+	LatencySum clock.Picos
+
+	// Retries counts TryEnqueue rejections (backpressure events).
+	Retries uint64
+
+	// Slip is how far issue fell behind the trace's own timeline at
+	// the end of the run: 0 means the memory system kept up with the
+	// recorded inter-arrival times.
+	Slip clock.Picos
+}
+
+// Duration is the wall-clock span of the replay.
+func (r Result) Duration() clock.Picos { return r.End - r.Start }
+
+// Bytes is the total traffic moved.
+func (r Result) Bytes() uint64 { return r.BytesRead + r.BytesWritten }
+
+// Throughput is bytes per second over the replay duration.
+func (r Result) Throughput() float64 {
+	if r.Duration() <= 0 {
+		return 0
+	}
+	return float64(r.Bytes()) / r.Duration().Seconds()
+}
+
+// AvgLatency is the mean issue-to-completion latency.
+func (r Result) AvgLatency() clock.Picos {
+	if r.Completed == 0 {
+		return 0
+	}
+	return r.LatencySum / clock.Picos(r.Completed)
+}
+
+// slot is one in-flight request record. Slots are preallocated and
+// recycled, and each binds its completion closure once, so steady-state
+// replay performs no per-request allocation.
+type slot struct {
+	req    mem.Req
+	issued clock.Picos
+}
+
+// Replayer injects a record stream through a mem.Port on the simulation
+// engine. Records issue at their recorded inter-arrival times; when the
+// memory system pushes back (full controller queue, in-flight cap) the
+// issue point slips later but record order is preserved, exactly like a
+// core whose load queue has filled.
+type Replayer struct {
+	eng  *sim.Engine
+	port mem.Port
+	cfg  ReplayConfig
+	recs []Record
+
+	issueEv sim.Event
+	spaceFn func()
+	start   clock.Picos
+
+	ri       int    // next record index
+	li       uint32 // next line within the current record
+	inFlight int
+	waiting  bool // a WaitSpace callback is registered
+	finished bool
+
+	free []*slot
+
+	res    Result
+	onDone func(Result)
+}
+
+// NewReplayer validates the trace and builds a replayer bound to the
+// engine and port. The record slice is not copied; the caller must not
+// mutate it during replay.
+func NewReplayer(eng *sim.Engine, port mem.Port, recs []Record, cfg ReplayConfig) (*Replayer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := Validate(recs); err != nil {
+		return nil, err
+	}
+	rp := &Replayer{eng: eng, port: port, cfg: cfg, recs: recs}
+	rp.issueEv.Init(sim.HandlerFunc(rp.issue))
+	rp.spaceFn = rp.onSpace
+	rp.free = make([]*slot, cfg.MaxInFlight)
+	for i := range rp.free {
+		s := &slot{}
+		s.req.SrcID = cfg.SrcID
+		s.req.OnDone = func(now clock.Picos) { rp.complete(s, now) }
+		rp.free[i] = s
+	}
+	return rp, nil
+}
+
+// Start begins the replay; onDone runs (inside the engine) when every
+// record has issued and completed. Start does not run the engine.
+func (rp *Replayer) Start(onDone func(Result)) {
+	rp.onDone = onDone
+	rp.start = rp.eng.Now()
+	rp.res.Start = rp.start
+	rp.eng.Schedule(&rp.issueEv, rp.start)
+}
+
+// issue advances the record cursor: it fires due records until it runs
+// ahead of the trace clock (reschedule), out of in-flight slots (a
+// completion re-kicks), or into a full controller queue (WaitSpace
+// re-kicks).
+func (rp *Replayer) issue(now clock.Picos) {
+	for rp.ri < len(rp.recs) {
+		rec := &rp.recs[rp.ri]
+		if due := rp.start + rec.TSC; now < due {
+			rp.eng.Schedule(&rp.issueEv, due)
+			return
+		}
+		if len(rp.free) == 0 {
+			return
+		}
+		s := rp.free[len(rp.free)-1]
+		addr := rec.Addr + uint64(rp.li)*mem.LineBytes
+		s.req.Addr = addr
+		if rec.Kind == KindWrite {
+			s.req.Kind = mem.Write
+		} else {
+			s.req.Kind = mem.Read
+		}
+		s.req.Cacheable = rp.cfg.Cacheable && mem.SpaceOf(addr) == mem.SpaceDRAM
+		s.issued = now
+		if !rp.port.TryEnqueue(&s.req) {
+			rp.res.Retries++
+			if !rp.waiting {
+				rp.waiting = true
+				rp.port.WaitSpace(rp.spaceFn)
+			}
+			return
+		}
+		rp.free = rp.free[:len(rp.free)-1]
+		rp.inFlight++
+		rp.res.Issued++
+		if s.req.Kind == mem.Write {
+			rp.res.BytesWritten += mem.LineBytes
+		} else {
+			rp.res.BytesRead += mem.LineBytes
+		}
+		if slip := now - (rp.start + rec.TSC); slip > rp.res.Slip {
+			rp.res.Slip = slip
+		}
+		if rp.li++; rp.li >= rec.Lines() {
+			rp.li = 0
+			rp.ri++
+		}
+	}
+	rp.maybeFinish(now)
+}
+
+// onSpace is the WaitSpace callback: queue space freed, resume issue.
+func (rp *Replayer) onSpace() {
+	rp.waiting = false
+	rp.issue(rp.eng.Now())
+}
+
+// complete retires one request and resumes issue if it was blocked on
+// the in-flight cap.
+func (rp *Replayer) complete(s *slot, now clock.Picos) {
+	rp.inFlight--
+	rp.res.Completed++
+	rp.res.LatencySum += now - s.issued
+	rp.free = append(rp.free, s)
+	if rp.ri < len(rp.recs) {
+		if !rp.issueEv.Scheduled() && !rp.waiting {
+			rp.issue(now)
+		}
+		return
+	}
+	rp.maybeFinish(now)
+}
+
+// maybeFinish reports the result once everything issued and completed.
+func (rp *Replayer) maybeFinish(now clock.Picos) {
+	if rp.finished || rp.ri < len(rp.recs) || rp.inFlight > 0 {
+		return
+	}
+	rp.finished = true
+	rp.res.End = now
+	if rp.onDone != nil {
+		rp.onDone(rp.res)
+	}
+}

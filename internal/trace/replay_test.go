@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// fakePort is a minimal mem.Port: fixed service latency, bounded queue,
+// FIFO WaitSpace wakeups. It records accepted requests for order and
+// occupancy assertions.
+type fakePort struct {
+	eng     *sim.Engine
+	lat     clock.Picos
+	cap     int
+	inQ     int
+	maxInQ  int
+	waiters []func()
+
+	addrs []uint64
+	kinds []mem.Kind
+}
+
+func newFakePort(eng *sim.Engine, lat clock.Picos, capacity int) *fakePort {
+	return &fakePort{eng: eng, lat: lat, cap: capacity}
+}
+
+func (p *fakePort) TryEnqueue(r *mem.Req) bool {
+	if p.inQ >= p.cap {
+		return false
+	}
+	p.inQ++
+	if p.inQ > p.maxInQ {
+		p.maxInQ = p.inQ
+	}
+	p.addrs = append(p.addrs, r.Addr)
+	p.kinds = append(p.kinds, r.Kind)
+	done := r.OnDone
+	p.eng.After(p.lat, func() {
+		p.inQ--
+		if done != nil {
+			done(p.eng.Now())
+		}
+		if len(p.waiters) > 0 {
+			w := p.waiters[0]
+			p.waiters = p.waiters[:copy(p.waiters, p.waiters[1:])]
+			w()
+		}
+	})
+	return true
+}
+
+func (p *fakePort) WaitSpace(fn func()) { p.waiters = append(p.waiters, fn) }
+
+// runReplay drives a replay to completion on a fresh engine.
+func runReplay(t *testing.T, recs []Record, cfg ReplayConfig, lat clock.Picos, capacity int) (Result, *fakePort) {
+	t.Helper()
+	eng := sim.New()
+	port := newFakePort(eng, lat, capacity)
+	rp, err := NewReplayer(eng, port, recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	done := false
+	rp.Start(func(r Result) { res = r; done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("replay never completed")
+	}
+	return res, port
+}
+
+func TestReplayCompletesAndTimes(t *testing.T) {
+	const gap = 10 * clock.Nanosecond
+	const lat = 3 * clock.Nanosecond
+	recs := []Record{
+		{TSC: 0, Kind: KindRead, Addr: 0, Bytes: 64},
+		{TSC: gap, Kind: KindWrite, Addr: 64, Bytes: 64},
+		{TSC: 2 * gap, Kind: KindRead, Addr: 4096, Bytes: 64},
+	}
+	res, port := runReplay(t, recs, DefaultReplayConfig(), lat, 64)
+	if res.Issued != 3 || res.Completed != 3 {
+		t.Errorf("issued/completed = %d/%d, want 3/3", res.Issued, res.Completed)
+	}
+	if res.BytesRead != 128 || res.BytesWritten != 64 {
+		t.Errorf("bytes = %d/%d, want 128/64", res.BytesRead, res.BytesWritten)
+	}
+	// No contention: every record issues exactly at its TSC and
+	// completes one service latency later.
+	if res.End != 2*gap+lat {
+		t.Errorf("End = %v, want %v", res.End, 2*gap+lat)
+	}
+	if res.AvgLatency() != lat {
+		t.Errorf("AvgLatency = %v, want %v", res.AvgLatency(), lat)
+	}
+	if res.Retries != 0 || res.Slip != 0 {
+		t.Errorf("uncontended replay reported pressure: %d retries, %v slip", res.Retries, res.Slip)
+	}
+	if want := []mem.Kind{mem.Read, mem.Write, mem.Read}; len(port.kinds) != 3 ||
+		port.kinds[0] != want[0] || port.kinds[1] != want[1] || port.kinds[2] != want[2] {
+		t.Errorf("kinds = %v, want %v", port.kinds, want)
+	}
+}
+
+// A multi-line record expands to consecutive line requests.
+func TestReplayExpandsMultiLineRecords(t *testing.T) {
+	recs := []Record{{TSC: 0, Kind: KindRead, Addr: 1 << 12, Bytes: 4 * 64}}
+	res, port := runReplay(t, recs, DefaultReplayConfig(), clock.Nanosecond, 64)
+	if res.Issued != 4 {
+		t.Fatalf("issued %d line requests, want 4", res.Issued)
+	}
+	for i, a := range port.addrs {
+		if want := uint64(1<<12) + uint64(i)*64; a != want {
+			t.Errorf("line %d at 0x%x, want 0x%x", i, a, want)
+		}
+	}
+}
+
+// With a single-entry queue every request is serialized through
+// backpressure: order is preserved, retries are counted, and the run
+// takes one service latency per request.
+func TestReplayBackpressureSerializes(t *testing.T) {
+	const n = 16
+	const lat = 5 * clock.Nanosecond
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{TSC: 0, Kind: KindRead, Addr: uint64(i) * 64, Bytes: 64}
+	}
+	res, port := runReplay(t, recs, DefaultReplayConfig(), lat, 1)
+	if res.Completed != n {
+		t.Fatalf("completed %d, want %d", res.Completed, n)
+	}
+	if res.End != n*lat {
+		t.Errorf("End = %v, want %v (fully serialized)", res.End, clock.Picos(n)*lat)
+	}
+	if res.Retries != n-1 {
+		t.Errorf("retries = %d, want %d", res.Retries, n-1)
+	}
+	if res.Slip == 0 {
+		t.Error("serialized replay reported zero slip")
+	}
+	for i, a := range port.addrs {
+		if a != uint64(i)*64 {
+			t.Fatalf("order broken at %d: 0x%x", i, a)
+		}
+	}
+}
+
+// MaxInFlight caps the replayer's own outstanding requests even when
+// the port has room.
+func TestReplayInFlightCap(t *testing.T) {
+	recs := make([]Record, 64)
+	for i := range recs {
+		recs[i] = Record{TSC: 0, Kind: KindRead, Addr: uint64(i) * 64, Bytes: 64}
+	}
+	cfg := DefaultReplayConfig()
+	cfg.MaxInFlight = 2
+	res, port := runReplay(t, recs, cfg, 7*clock.Nanosecond, 1024)
+	if res.Completed != 64 {
+		t.Fatalf("completed %d, want 64", res.Completed)
+	}
+	if port.maxInQ > 2 {
+		t.Errorf("port saw %d outstanding, want <= MaxInFlight 2", port.maxInQ)
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	res, _ := runReplay(t, nil, DefaultReplayConfig(), clock.Nanosecond, 4)
+	if res.Issued != 0 || res.Completed != 0 || res.Duration() != 0 {
+		t.Errorf("empty replay produced %+v", res)
+	}
+}
+
+func TestReplayerRejectsBadInput(t *testing.T) {
+	eng := sim.New()
+	port := newFakePort(eng, clock.Nanosecond, 4)
+	bad := ReplayConfig{MaxInFlight: 0}
+	if _, err := NewReplayer(eng, port, nil, bad); err == nil {
+		t.Error("MaxInFlight=0 accepted")
+	}
+	warped := []Record{
+		{TSC: 10, Kind: KindRead, Addr: 0, Bytes: 64},
+		{TSC: 5, Kind: KindRead, Addr: 64, Bytes: 64},
+	}
+	if _, err := NewReplayer(eng, port, warped, DefaultReplayConfig()); err == nil {
+		t.Error("time-warped trace accepted")
+	}
+}
+
+// Replays are pure functions of (trace, port behaviour, config): two
+// fresh engines produce identical results field for field.
+func TestReplayDeterministic(t *testing.T) {
+	cfg := testGenConfig()
+	cfg.Records = 2048
+	recs := MustGenerate(PatternMixed, cfg)
+	a, _ := runReplay(t, recs, DefaultReplayConfig(), 9*clock.Nanosecond, 8)
+	b, _ := runReplay(t, recs, DefaultReplayConfig(), 9*clock.Nanosecond, 8)
+	if a != b {
+		t.Errorf("reruns differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,127 @@
+// Replay determinism: a trace replayed through trace.Replayer must
+// produce bit-identical statistics on every rerun and at every sweep
+// worker count — the acceptance contract of the trace subsystem. The
+// checks cover both synthetic traces and a trace recorded live at the
+// mem.Port boundary.
+package pimmmu_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// replayFingerprint renders everything observable about one replay run.
+func replayFingerprint(s *system.System, r trace.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "issued=%d completed=%d br=%d bw=%d start=%d end=%d latsum=%d retries=%d slip=%d fired=%d now=%d\n",
+		r.Issued, r.Completed, r.BytesRead, r.BytesWritten,
+		r.Start, r.End, r.LatencySum, r.Retries, r.Slip,
+		s.Eng.Fired(), s.Eng.Now())
+	machineFingerprint(&b, s)
+	return b.String()
+}
+
+// replayJob replays recs on a fresh machine of the given design and
+// fingerprints the run.
+func replayJob(d system.Design, recs []trace.Record) string {
+	s := system.MustNew(system.DefaultConfig(d))
+	r, err := s.RunReplay(recs, trace.DefaultReplayConfig())
+	if err != nil {
+		panic(err)
+	}
+	return fmt.Sprintf("design=%v %s", d, replayFingerprint(s, r))
+}
+
+// recordTransferTrace captures the port traffic of one small transfer.
+func recordTransferTrace(d system.Design, totalBytes uint64) []trace.Record {
+	s := system.MustNew(system.DefaultConfig(d))
+	rec := s.RecordTrace()
+	per := totalBytes / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	if per < 64 {
+		per = 64
+	}
+	s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per))
+	s.StopTrace()
+	return rec.Records()
+}
+
+// TestRecordedTraceReplayBitIdentical is the subsystem's acceptance
+// check: a trace recorded at the mem.Port boundary, replayed across
+// design points, yields byte-identical fingerprints between serial and
+// parallel sweeps and across reruns.
+func TestRecordedTraceReplayBitIdentical(t *testing.T) {
+	recs := recordTransferTrace(system.PIMMMU, 128<<10)
+	if len(recs) == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+	if err := trace.Validate(recs); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	designs := system.Designs()
+	job := func(i int) string { return replayJob(designs[i], recs) }
+	serial := sweep.MapN(len(designs), 1, job)
+	parallel := sweep.MapN(len(designs), 8, job)
+	rerun := sweep.MapN(len(designs), 8, job)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("%v: workers=8 differs from workers=1\n--- serial ---\n%s--- parallel ---\n%s",
+				designs[i], serial[i], parallel[i])
+		}
+		if parallel[i] != rerun[i] {
+			t.Errorf("%v: rerun differs\n--- first ---\n%s--- second ---\n%s",
+				designs[i], parallel[i], rerun[i])
+		}
+	}
+}
+
+// TestSyntheticReplaySweepMatchesSerial fans the (pattern x design)
+// replay matrix across goroutines and requires byte-identical results,
+// mirroring the harness replay experiment's sweep shape.
+func TestSyntheticReplaySweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed sweep")
+	}
+	patterns := []trace.Pattern{trace.PatternStrided, trace.PatternMixed, trace.PatternZipf}
+	designs := []system.Design{system.Base, system.PIMMMU}
+	cfg := trace.DefaultGenConfig()
+	cfg.Records = 4096
+	g := sweep.NewGrid(len(patterns), len(designs))
+	job := func(i int) string {
+		recs := trace.MustGenerate(patterns[g.Coord(i, 0)], cfg)
+		return replayJob(designs[g.Coord(i, 1)], recs)
+	}
+	serial := sweep.MapN(g.Size(), 1, job)
+	parallel := sweep.MapN(g.Size(), 8, job)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("job %d (%s on %v): parallel differs from serial\n--- serial ---\n%s--- parallel ---\n%s",
+				i, patterns[g.Coord(i, 0)], designs[g.Coord(i, 1)], serial[i], parallel[i])
+		}
+	}
+}
+
+// TestRecordReplayRoundTripPreservesTraffic replays a recorded trace on
+// the same design it was recorded from: the replayed run must move
+// exactly the recorded bytes.
+func TestRecordReplayRoundTripPreservesTraffic(t *testing.T) {
+	recs := recordTransferTrace(system.PIMMMU, 64<<10)
+	sum := trace.Summarize(recs)
+	s := system.MustNew(system.DefaultConfig(system.PIMMMU))
+	r, err := s.RunReplay(recs, trace.DefaultReplayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BytesRead != sum.BytesRead || r.BytesWritten != sum.BytesWritten {
+		t.Errorf("replayed %d/%d bytes, recorded %d/%d",
+			r.BytesRead, r.BytesWritten, sum.BytesRead, sum.BytesWritten)
+	}
+	if r.Completed != uint64(sum.Records) {
+		t.Errorf("completed %d line requests, recorded %d", r.Completed, sum.Records)
+	}
+}
