@@ -2,14 +2,20 @@
 //
 // Usage:
 //
-//	pimmu-bench [-full] [-workers N] <experiment>|all|list
+//	pimmu-bench [-full] [-workers N] [-shards N] <experiment>|all|list
 //
 // Experiments: table1 fig4 fig6 fig8 fig13a fig13b fig14 fig15a fig15b
 // fig16 area headline. Quick sizes are the default; -full uses the
 // paper's sizes (slow: the 256 MB sweeps simulate hundreds of millions
 // of DRAM commands). Multi-design experiments fan their independent
 // simulations across CPU cores; -workers caps the parallelism (1 forces
-// the serial path, which produces byte-identical output).
+// the serial path, which produces byte-identical output). -shards
+// additionally parallelizes inside each simulated machine by running its
+// DDR4 channels' event shards in conservative windows — the lever for
+// the single-machine -full renders. Output is byte-identical across all
+// -shards counts >= 1 (0, the default serial engine, can break
+// same-instant event ties differently on CPU-streaming workloads; see
+// system.Config.Shards).
 package main
 
 import (
@@ -25,9 +31,11 @@ import (
 func main() {
 	full := flag.Bool("full", false, "use the paper's full experiment sizes")
 	workers := flag.Int("workers", 0, "parallel simulations per sweep (0 = all cores, 1 = serial)")
+	shards := flag.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
 	flag.Usage = usage
 	flag.Parse()
 	sweep.SetWorkers(*workers)
+	harness.SetShards(*shards)
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -65,6 +73,6 @@ func runOne(e harness.Experiment, sc harness.Scale) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] <experiment>|all|list\n")
+	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] [-shards N] <experiment>|all|list\n")
 	flag.PrintDefaults()
 }

@@ -6,7 +6,7 @@
 //	pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
 //	pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
 //	pimmu-replay inspect [-n N] FILE
-//	pimmu-replay replay  [-design D|all] [-workers N] [-inflight N] [-noncacheable] FILE
+//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-inflight N] [-noncacheable] FILE
 //
 // record captures every request a transfer presents to the memory port
 // of the chosen design; gen synthesizes one of the built-in application
@@ -14,8 +14,11 @@
 // trace's summary and head/tail records; replay injects a trace into a
 // fresh machine (or, with -design all, into every design point in
 // parallel) at its recorded inter-arrival times and reports bandwidth
-// and latency. Replays of the same trace are bit-identical across runs
-// and across -workers counts.
+// and latency. Replays of the same trace are bit-identical across runs,
+// across -workers counts, and across -shards counts >= 1 (-shards runs
+// each machine's DDR4 channel event shards in conservative parallel
+// windows; 0, the default serial engine, can break same-instant event
+// ties differently on some workloads — see system.Config.Shards).
 package main
 
 import (
@@ -64,7 +67,7 @@ func usage() {
   pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
   pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
   pimmu-replay inspect [-n N] FILE
-  pimmu-replay replay  [-design D|all] [-workers N] [-inflight N] [-noncacheable] FILE
+  pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-inflight N] [-noncacheable] FILE
 `)
 }
 
@@ -184,6 +187,7 @@ func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	designFlag := fs.String("design", "pim-mmu", "design point, or all")
 	workers := fs.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
+	shards := fs.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
 	inflight := fs.Int("inflight", 64, "max outstanding line requests")
 	noncache := fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region records")
 	fs.Parse(args)
@@ -202,14 +206,18 @@ func cmdReplay(args []string) error {
 	if *designFlag == "all" {
 		designs := system.Designs()
 		results := sweep.Map(len(designs), func(i int) trace.Result {
-			return replayOn(designs[i], recs, cfg)
+			return replayOn(designs[i], *shards, recs, cfg)
 		})
 		fmt.Printf("%d records, max %d in flight\n\n", len(recs), cfg.MaxInFlight)
-		fmt.Printf("%-12s %12s %12s %12s %12s\n", "design", "GB/s", "lat (ns)", "retries", "slip")
+		fmt.Printf("%-12s %12s %12s %18s %12s %12s\n",
+			"design", "GB/s", "avg (ns)", "p50/p95/p99 (ns)", "retries", "slip")
 		for i, d := range designs {
 			r := results[i]
-			fmt.Printf("%-12v %12.2f %12.0f %12d %12v\n",
-				d, r.Throughput()/1e9, r.AvgLatency().Nanoseconds(), r.Retries, r.Slip)
+			fmt.Printf("%-12v %12.2f %12.0f %18s %12d %12v\n",
+				d, r.Throughput()/1e9, r.AvgLatency().Nanoseconds(),
+				fmt.Sprintf("%.0f/%.0f/%.0f",
+					r.Latency.P50().Nanoseconds(), r.Latency.P95().Nanoseconds(), r.Latency.P99().Nanoseconds()),
+				r.Retries, r.Slip)
 		}
 		return nil
 	}
@@ -218,20 +226,24 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := replayOn(design, recs, cfg)
+	r := replayOn(design, *shards, recs, cfg)
 	fmt.Printf("design     %v\n", design)
 	fmt.Printf("records    %d (%d line requests)\n", len(recs), r.Issued)
 	fmt.Printf("bytes      %d read, %d written\n", r.BytesRead, r.BytesWritten)
 	fmt.Printf("duration   %v\n", r.Duration())
 	fmt.Printf("throughput %.2f GB/s\n", r.Throughput()/1e9)
-	fmt.Printf("latency    %v avg\n", r.AvgLatency())
+	fmt.Printf("latency    %v avg, p50 <= %v, p95 <= %v, p99 <= %v\n",
+		r.AvgLatency(), r.Latency.P50(), r.Latency.P95(), r.Latency.P99())
 	fmt.Printf("pressure   %d retries, %v max slip behind the trace clock\n", r.Retries, r.Slip)
 	return nil
 }
 
-// replayOn replays recs on a fresh machine of the given design.
-func replayOn(d system.Design, recs []trace.Record, cfg trace.ReplayConfig) trace.Result {
-	s := system.MustNew(system.DefaultConfig(d))
+// replayOn replays recs on a fresh machine of the given design, with the
+// event queue sharded per channel when shards >= 1.
+func replayOn(d system.Design, shards int, recs []trace.Record, cfg trace.ReplayConfig) trace.Result {
+	scfg := system.DefaultConfig(d)
+	scfg.Shards = shards
+	s := system.MustNew(scfg)
 	r, err := s.RunReplay(recs, cfg)
 	if err != nil {
 		panic(err)

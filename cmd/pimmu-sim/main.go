@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N]
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N]
+//
+// -workers parallelizes across independent design-point machines;
+// -shards parallelizes inside each machine, running its DDR4 channels'
+// event shards in conservative windows (0 = plain serial engine, 1 =
+// sharded queue executed serially, >= 2 = that many window workers).
+// Output is independent of -workers, and of -shards across all counts
+// >= 1 (0 can break same-instant event ties differently on some
+// workloads; see system.Config.Shards).
 package main
 
 import (
@@ -24,8 +32,10 @@ func main() {
 	mb := flag.Uint64("mb", 16, "total transfer size in MiB")
 	dirFlag := flag.String("dir", "to", "direction: to (DRAM->PIM) or from (PIM->DRAM)")
 	workers := flag.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
+	shards := flag.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
 	flag.Parse()
 	sweep.SetWorkers(*workers)
+	engineShards = *shards
 
 	dir := core.DRAMToPIM
 	if *dirFlag == "from" {
@@ -48,6 +58,9 @@ func main() {
 	runOne(design, dir, *mb)
 }
 
+// engineShards is the -shards selection applied to every machine built.
+var engineShards int
+
 // measurement is one design point's transfer outcome.
 type measurement struct {
 	sys    *system.System
@@ -57,7 +70,9 @@ type measurement struct {
 
 // measure runs one transfer on a fresh machine.
 func measure(design system.Design, dir core.Direction, mb uint64) measurement {
-	s := system.MustNew(system.DefaultConfig(design))
+	cfg := system.DefaultConfig(design)
+	cfg.Shards = engineShards
+	s := system.MustNew(cfg)
 	per := (mb << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
 	if per < 64 {
 		per = 64

@@ -52,3 +52,38 @@ func TestEveryExperimentSerialParallelIdentical(t *testing.T) {
 		})
 	}
 }
+
+// TestEveryExperimentShardCountIdentical is the shard-count counterpart of
+// the audit above: every simulation-backed experiment must render
+// byte-identical output whether each machine's event queue runs on one
+// shard (the serial reference of the sharded engine) or is executed in
+// conservative windows across 2 or 4 workers. Any channel event wrongly
+// classified as lane-local — or any lane-local handler that touches state
+// outside its channel — shows up here as a diff.
+func TestEveryExperimentShardCountIdentical(t *testing.T) {
+	for _, e := range harness.All() {
+		if staticExperiments[e.Name] {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			defer harness.SetShards(0)
+			render := func(shards int) []byte {
+				harness.SetShards(shards)
+				var buf bytes.Buffer
+				e.Run(&buf, harness.Quick)
+				return buf.Bytes()
+			}
+			serial := render(1)
+			if len(serial) == 0 {
+				t.Fatal("experiment rendered nothing")
+			}
+			for _, shards := range []int{2, 4} {
+				if got := render(shards); !bytes.Equal(serial, got) {
+					t.Errorf("output differs at %d shards\n--- 1 shard ---\n%s--- %d shards ---\n%s",
+						shards, serial, shards, got)
+				}
+			}
+		})
+	}
+}

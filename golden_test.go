@@ -41,9 +41,11 @@ const goldenHead = 48
 
 // commandStream runs a 128 KiB DRAM->PIM transfer on the design with
 // every PIM channel observed and renders the pimmu-trace-equivalent
-// view of it.
-func commandStream(d system.Design) string {
+// view of it. shards selects the event-engine mode (<= 1 serial, >= 2
+// sharded); the rendering must not depend on it.
+func commandStream(d system.Design, shards int) string {
 	cfg := system.DefaultConfig(d)
+	cfg.Shards = shards
 	s := system.MustNew(cfg)
 	chans := cfg.Mem.PIM.Geometry.Channels
 	recs := make([]*cmdRecorder, chans)
@@ -102,8 +104,10 @@ func TestGoldenCommandStream(t *testing.T) {
 	// Stability first: render every design serially and in a parallel
 	// sweep; the observers live inside each job's own machine, so worker
 	// count must not matter.
-	serial := sweep.MapN(len(designs), 1, func(i int) string { return commandStream(designs[i]) })
-	parallel := sweep.MapN(len(designs), 4, func(i int) string { return commandStream(designs[i]) })
+	// Goldens pin the default (plain, Shards=0) engine; sharded_test.go
+	// separately pins sharded renderings bit-equal to these.
+	serial := sweep.MapN(len(designs), 1, func(i int) string { return commandStream(designs[i], 0) })
+	parallel := sweep.MapN(len(designs), 4, func(i int) string { return commandStream(designs[i], 0) })
 	for i, d := range designs {
 		if serial[i] != parallel[i] {
 			t.Fatalf("%v: command stream differs between worker counts", d)

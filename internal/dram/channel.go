@@ -69,12 +69,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// pending is a request in flight inside a channel controller.
+// pending is a request in flight inside a channel controller. Records
+// recycle through the channel's free list (freePend), so steady-state
+// enqueueing allocates nothing.
 type pending struct {
 	req       *mem.Req
 	loc       addrmap.Loc
-	activated bool // this request caused an ACT (row miss)
-	conflict  bool // this request caused a PRE (row conflict)
+	activated bool     // this request caused an ACT (row miss)
+	conflict  bool     // this request caused a PRE (row conflict)
+	next      *pending // free list
 }
 
 // bankState tracks one bank's open row and per-command earliest-issue
@@ -128,12 +131,21 @@ type lastCAS struct {
 
 // Channel is one DDR4 channel: an FR-FCFS controller plus the ranks and
 // banks behind it. All timing bookkeeping is in command-clock cycles.
+//
+// On a sharded engine each channel schedules on its own event lane: the
+// scheduler tick and data-burst completions are lane-local unless they can
+// touch the outside world (queue-space waiters to notify, a completion
+// callback to invoke), which is what lets independent channels simulate in
+// parallel inside a conservative window. Everything the channel mutates —
+// queues, bank state, stats, its observer — belongs to the channel, so the
+// per-channel Observer must not be shared across channels of a sharded
+// machine.
 type Channel struct {
-	eng  *sim.Engine
-	cfg  Config
-	dom  clock.Domain
-	id   int
-	name string
+	sched sim.Scheduler
+	cfg   Config
+	dom   clock.Domain
+	id    int
+	name  string
 
 	ranks   []*rankState
 	readQ   []*pending
@@ -147,16 +159,31 @@ type Channel struct {
 	waiters  []func()
 	observer Observer
 
+	// cbQueued counts queued requests carrying a completion callback.
+	// While it is zero and no waiters are registered, nothing the channel
+	// does can schedule a crossing event, and its shard lane may run
+	// without a lookahead cap (posted-write streams, writeback drains).
+	cbQueued int
+
+	// prepMark/prepGen are the scheduler's allocation-free per-tick
+	// scratch: prepMark[rank*banks+bank] == prepGen marks a bank already
+	// owned by an older request in the current scan.
+	prepMark []uint64
+	prepGen  uint64
+
 	// freeComp recycles data-burst completion records so the per-command
 	// completion path performs no event allocation.
 	freeComp *completion
+
+	// freePend recycles pending records (see pending).
+	freePend *pending
 
 	stats *ChannelStats
 }
 
 func newChannel(eng *sim.Engine, cfg Config, id int, name string) *Channel {
 	c := &Channel{
-		eng:      eng,
+		sched:    eng.NewLane(cfg.Timing.MinCrossLatency()),
 		cfg:      cfg,
 		dom:      cfg.Timing.Domain(),
 		id:       id,
@@ -165,7 +192,9 @@ func newChannel(eng *sim.Engine, cfg Config, id int, name string) *Channel {
 		stats:    newChannelStats(cfg.SeriesWindow),
 	}
 	c.tickEv.Init(sim.HandlerFunc(c.tick))
+	c.updateCrossingFree()
 	nBanks := cfg.Geometry.BankGroups * cfg.Geometry.Banks
+	c.prepMark = make([]uint64, cfg.Geometry.Ranks*nBanks)
 	for r := 0; r < cfg.Geometry.Ranks; r++ {
 		rs := &rankState{
 			banks:      make([]bankState, nBanks),
@@ -214,12 +243,30 @@ func (c *Channel) TryEnqueue(r *mem.Req, loc addrmap.Loc) bool {
 		// Traffic resuming after an idle gap: the refreshes of that gap
 		// happened invisibly, so bring the bookkeeping forward instead of
 		// serially replaying them.
-		c.catchUpRefresh(c.dom.Cycles(c.eng.Now()))
+		c.catchUpRefresh(c.dom.Cycles(c.sched.Now()))
 	}
-	r.Enqueued = c.eng.Now()
-	*q = append(*q, &pending{req: r, loc: loc})
+	r.Enqueued = c.sched.Now()
+	p := c.freePend
+	if p == nil {
+		p = &pending{}
+	} else {
+		c.freePend = p.next
+	}
+	*p = pending{req: r, loc: loc}
+	*q = append(*q, p)
+	if r.OnDone != nil {
+		if c.cbQueued++; c.cbQueued == 1 {
+			c.updateCrossingFree()
+		}
+	}
 	c.kick()
 	return true
+}
+
+// updateCrossingFree tells the channel's lane whether any future action
+// could schedule a crossing event.
+func (c *Channel) updateCrossingFree() {
+	c.sched.SetCrossingFree(c.cbQueued == 0 && len(c.waiters) == 0)
 }
 
 // catchUpRefresh skips refresh intervals that elapsed while the channel
@@ -234,7 +281,14 @@ func (c *Channel) catchUpRefresh(cyc int64) {
 }
 
 // WaitSpace registers a one-shot callback fired when queue space frees up.
-func (c *Channel) WaitSpace(fn func()) { c.waiters = append(c.waiters, fn) }
+// A waiter makes the next scheduler tick externally visible (it will
+// notify host-side code), so any standing tick is promoted to a crossing
+// event on sharded engines.
+func (c *Channel) WaitSpace(fn func()) {
+	c.waiters = append(c.waiters, fn)
+	c.sched.Promote(&c.tickEv)
+	c.updateCrossingFree()
+}
 
 func (c *Channel) notifySpace() {
 	if len(c.waiters) == 0 {
@@ -242,6 +296,7 @@ func (c *Channel) notifySpace() {
 	}
 	ws := c.waiters
 	c.waiters = nil
+	c.updateCrossingFree()
 	for _, fn := range ws {
 		fn()
 	}
@@ -251,7 +306,7 @@ func (c *Channel) notifySpace() {
 // standing tick event is already pending at a later time (for example a
 // distant refresh deadline), it is pulled forward in place.
 func (c *Channel) kick() {
-	c.kickAt(c.dom.Align(c.eng.Now()))
+	c.kickAt(c.dom.Align(c.sched.Now()))
 }
 
 // kickAtCycle schedules a tick at an absolute cycle.
@@ -268,7 +323,13 @@ func (c *Channel) kickAt(t clock.Picos) {
 	if c.tickEv.Scheduled() && c.tickEv.When() <= t {
 		return
 	}
-	c.eng.Schedule(&c.tickEv, t)
+	// A tick with no waiters touches only channel state; with waiters it
+	// will call back into host-side code (notifySpace).
+	if len(c.waiters) == 0 {
+		c.sched.ScheduleLocal(&c.tickEv, t)
+	} else {
+		c.sched.Schedule(&c.tickEv, t)
+	}
 }
 
 func (c *Channel) tick(now clock.Picos) {

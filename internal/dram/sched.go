@@ -125,7 +125,10 @@ func (c *Channel) tryQueue(q []*pending, cyc int64) (bool, int64) {
 	}
 
 	// --- Pass 2: oldest request per bank, prepare its row ---
-	prepared := map[int]bool{}
+	// prepMark is generation-stamped scratch (see Channel), so per-tick
+	// bank ownership tracking allocates nothing. BankID is already
+	// rank-global.
+	c.prepGen++
 	for _, p := range scan {
 		r := c.ranks[p.loc.Rank]
 		if r.refreshing {
@@ -135,11 +138,11 @@ func (c *Channel) tryQueue(q []*pending, cyc int64) (bool, int64) {
 		if b.row == p.loc.Row {
 			continue // row hit, pass 1's business
 		}
-		key := p.loc.Rank<<8 | p.loc.BankID(c.cfg.Geometry)
-		if prepared[key] {
+		key := p.loc.BankID(c.cfg.Geometry)
+		if c.prepMark[key] == c.prepGen {
 			continue // an older request already owns this bank
 		}
-		prepared[key] = true
+		c.prepMark[key] = c.prepGen
 		if b.row < 0 {
 			ready := c.earliestACT(p, cyc)
 			if ready <= cyc {
@@ -271,7 +274,7 @@ func (c *Channel) issueACT(p *pending, cyc int64) {
 // issuePREBank closes a bank belonging to rank r.
 func (c *Channel) issuePREBank(r *rankState, b *bankState) {
 	t := &c.cfg.Timing
-	cyc := c.dom.Cycles(c.eng.Now())
+	cyc := c.dom.Cycles(c.sched.Now())
 	if c.observer != nil {
 		bg, bk := c.locOfBank(r, b)
 		c.emit(CmdEvent{Cycle: cyc, Cmd: CmdPRE, Rank: c.rankIndex(r),
@@ -329,8 +332,24 @@ func (c *Channel) issueCAS(p *pending, cyc int64) {
 		cp.next = nil
 	}
 	cp.req = p.req
-	c.eng.Schedule(&cp.ev, c.dom.Duration(doneCycle))
+	// A completion with no callback only updates channel-local stats; one
+	// with a callback crosses back into the requester. Once the crossing
+	// is scheduled it is visible in the lane's mailbox, so the dequeued
+	// callback no longer needs the lookahead cap.
+	if p.req.OnDone == nil {
+		c.sched.ScheduleLocal(&cp.ev, c.dom.Duration(doneCycle))
+	} else {
+		c.sched.Schedule(&cp.ev, c.dom.Duration(doneCycle))
+		if c.cbQueued--; c.cbQueued == 0 {
+			c.updateCrossingFree()
+		}
+	}
 	c.notifySpace()
+
+	// The request left its queue and every field has been read: recycle.
+	p.req = nil
+	p.next = c.freePend
+	c.freePend = p
 }
 
 // completion is a pooled data-burst completion record: the standing event

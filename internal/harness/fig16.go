@@ -24,7 +24,7 @@ func Fig16(w io.Writer, sc Scale) {
 	designs := baseVsMMU
 	g := sweep.NewGrid(len(suite), len(designs))
 	phases := sweep.Map(g.Size(), func(i int) prim.Phase {
-		s := system.MustNew(system.DefaultConfig(designs[g.Coord(i, 1)]))
+		s := system.MustNew(newConfig(designs[g.Coord(i, 1)]))
 		return prim.RunEndToEnd(s, suite[g.Coord(i, 0)], scale)
 	})
 	t := stats.NewTable("workload",

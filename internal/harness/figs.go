@@ -82,7 +82,7 @@ func Fig6(w io.Writer, sc Scale) {
 		{system.PIMMMU, "b: hardware fine-grained — even across channels"},
 	}
 	sections := sweep.Map(len(points), func(i int) string {
-		cfg := system.DefaultConfig(points[i].design)
+		cfg := newConfig(points[i].design)
 		cfg.Mem.PIM.SeriesWindow = 100 * clock.Microsecond
 		s := system.MustNew(cfg)
 		runTransfer(s, core.DRAMToPIM, size)
@@ -93,10 +93,13 @@ func Fig6(w io.Writer, sc Scale) {
 		var b strings.Builder
 		fmt.Fprintf(&b, "-- (%s) per-PIM-channel share of write throughput over time --\n", points[i].label)
 		t := stats.NewTable("t (x100us)", "ch0 %", "ch1 %", "ch2 %", "ch3 %")
+		// Size rows from MaxIndex, not Len: a channel served late in a
+		// coarse-grained copy has no window-0 sample, so its buckets live
+		// beyond the Len() prefix (Bucket still reaches them).
 		maxLen := 0
 		for _, sr := range series {
-			if sr.Len() > maxLen {
-				maxLen = sr.Len()
+			if n := int(sr.MaxIndex()) + 1; n > maxLen {
+				maxLen = n
 			}
 		}
 		rows := windowBuckets(series, maxLen)
@@ -243,7 +246,7 @@ func Fig14(w io.Writer, sc Scale) {
 	g := sweep.NewGrid(len(configs), len(designs))
 	thr := sweep.Map(g.Size(), func(i int) float64 {
 		c := configs[g.Coord(i, 0)]
-		cfg := system.DefaultConfig(designs[g.Coord(i, 1)])
+		cfg := newConfig(designs[g.Coord(i, 1)])
 		cfg.Mem.DRAM.Geometry.Channels = c.ch
 		cfg.Mem.DRAM.Geometry.Ranks = c.ra
 		cfg.Mem.PIM.Geometry.Channels = c.ch

@@ -12,6 +12,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -37,9 +38,33 @@ func (s Scale) String() string {
 	return "quick"
 }
 
+// shardOverride is the process-wide event-engine shard count applied to
+// every machine the experiments build; <= 1 selects the serial engine.
+var shardOverride atomic.Int64
+
+// SetShards selects the event-engine shard count for subsequent
+// experiment runs (the CLIs' -shards flag). Experiment output is
+// byte-identical across all shard counts >= 1; only wall-clock time
+// changes. The serial engine (0, the default) can order same-instant
+// event ties differently than the sharded canonical order on some
+// CPU-streaming workloads — see system.Config.Shards — so 1 is the
+// serial reference when comparing against sharded runs.
+func SetShards(n int) { shardOverride.Store(int64(n)) }
+
+// Shards reports the shard count experiments currently use.
+func Shards() int { return int(shardOverride.Load()) }
+
+// newConfig is the Table I configuration at the given design point with
+// the experiment-wide shard selection applied.
+func newConfig(d system.Design) system.Config {
+	cfg := system.DefaultConfig(d)
+	cfg.Shards = Shards()
+	return cfg
+}
+
 // newSystem builds a fresh Table I machine at the given design point.
 func newSystem(d system.Design) *system.System {
-	return system.MustNew(system.DefaultConfig(d))
+	return system.MustNew(newConfig(d))
 }
 
 // runTransfer executes one whole-device transfer of totalBytes.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/clock"
 	"repro/internal/mem"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -59,7 +58,7 @@ func Replay(w io.Writer, sc Scale) {
 	designs := baseVsMMU
 	type point struct {
 		thr float64
-		lat clock.Picos
+		h   trace.LatencyHist
 	}
 	g := sweep.NewGrid(len(workloads), len(designs))
 	res := sweep.Map(g.Size(), func(i int) point {
@@ -79,18 +78,25 @@ func Replay(w io.Writer, sc Scale) {
 		if err != nil {
 			panic(err)
 		}
-		return point{thr: rr.Throughput(), lat: rr.AvgLatency()}
+		return point{thr: rr.Throughput(), h: rr.Latency}
 	})
 	t := stats.NewTable("workload", "Base (GB/s)", "PIM-MMU (GB/s)", "gain",
-		"Base lat (ns)", "PIM-MMU lat (ns)")
+		"Base p50/p95/p99 (ns)", "PIM-MMU p50/p95/p99 (ns)")
 	for wi, wl := range workloads {
 		b := res[g.Index(wi, 0)]
 		m := res[g.Index(wi, 1)]
-		t.Rowf("%s\t%s\t%s\t%s\t%.0f\t%.0f", wl.name,
+		t.Rowf("%s\t%s\t%s\t%s\t%s\t%s", wl.name,
 			gb(b.thr), gb(m.thr), ratio(m.thr/b.thr),
-			b.lat.Nanoseconds(), m.lat.Nanoseconds())
+			percentiles(&b.h), percentiles(&m.h))
 	}
 	fmt.Fprint(w, t)
 	fmt.Fprintln(w, "expected shape: DRAM-region patterns gain from HetMap's MLP-centric")
 	fmt.Fprintln(w, "                mapping; the PIM-region pattern is mapping-neutral")
+}
+
+// percentiles renders a latency histogram's tail as "p50/p95/p99" in
+// whole nanoseconds (bucket upper bounds: each figure is a <= bound).
+func percentiles(h *trace.LatencyHist) string {
+	return fmt.Sprintf("%.0f/%.0f/%.0f",
+		h.P50().Nanoseconds(), h.P95().Nanoseconds(), h.P99().Nanoseconds())
 }

@@ -12,6 +12,25 @@
 //     write-allocate); dirty evictions generate writeback traffic;
 //   - PIM-region requests are always non-cacheable and go straight to the
 //     PIM DIMMs' controllers.
+//
+// # Sharding contract
+//
+// On a sharded engine (system.Config.Shards >= 1) every channel behind
+// this port simulates on its own event lane, and the memory system is the
+// boundary where the lanes interact with the host:
+//
+//   - enqueue crossings (TryEnqueue, WaitSpace, writeback retries) only
+//     ever run from host events, which the engine fires serially at its
+//     frontier — a window never has the host in flight, so pushing into a
+//     channel's queues and pulling its lane's clock forward is safe;
+//   - complete crossings (a request's OnDone) are mailbox events on the
+//     owning channel's lane: the engine holds them at the frontier and
+//     drains them serially at window barriers in canonical order, so host
+//     state — the LLC hit queue, the DCE pipeline, replayers — observes
+//     completions exactly as a serial run would.
+//
+// Everything else the memory system owns (the LLC, the page map, the
+// deferred hit queue) is host state and never touched from a lane.
 package memsys
 
 import (

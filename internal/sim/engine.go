@@ -2,10 +2,13 @@
 // every timed component in the repository: DDR4 channel controllers, CPU
 // cores, the OS thread scheduler, the Data Copy Engine, and workload agents.
 //
-// The engine is a single-threaded priority queue of events. Determinism is
-// guaranteed: events at the same timestamp fire in insertion order (and a
-// reschedule counts as a fresh insertion), so repeated runs of the same
-// configuration produce bit-identical results.
+// The engine is a priority queue of events, single-threaded by default.
+// Determinism is guaranteed: events at the same timestamp fire in
+// insertion order (and a reschedule counts as a fresh insertion), so
+// repeated runs of the same configuration produce bit-identical results.
+// NewSharded additionally partitions the queue into per-component lanes
+// and runs provably independent stretches of them in parallel with the
+// same determinism guarantee — see sharded.go.
 //
 // Two scheduling styles coexist:
 //
@@ -45,6 +48,11 @@ type Event struct {
 	at  clock.Picos
 	seq uint64
 	pos int // heap index + 1; 0 when unscheduled
+
+	// Sharded-engine fields (see sharded.go); all zero on a serial engine.
+	lane    *Lane       // owning lane once scheduled through one
+	schedAt clock.Picos // simulated time of the most recent (re)schedule
+	mpos    int         // mailbox (crossing sub-heap) index + 1; 0 when local
 }
 
 // Init binds the handler. Calling Init on a scheduled event is a
@@ -98,13 +106,19 @@ func (te *tickerEvent) OnEvent(now clock.Picos) {
 	}
 }
 
-// Engine is the event loop. The zero value is ready to use.
+// Engine is the event loop. The zero value is ready to use (as a serial
+// engine; sharded engines are built with NewSharded).
 type Engine struct {
 	now    clock.Picos
 	seq    uint64
 	heap   []*Event
 	fired  uint64
 	freeFn *funcEvent
+
+	// shards, when non-nil, enables per-lane sharded execution: the
+	// engine's own heap becomes the host lane (lane 0) and components may
+	// claim additional lanes via NewLane. See sharded.go.
+	shards *shardSet
 }
 
 // New returns a fresh engine with its clock at time zero.
@@ -114,18 +128,42 @@ func New() *Engine { return &Engine{} }
 func (e *Engine) Now() clock.Picos { return e.now }
 
 // Fired reports how many events have run, a cheap progress/cost metric.
-func (e *Engine) Fired() uint64 { return e.fired }
+func (e *Engine) Fired() uint64 {
+	n := e.fired
+	if e.shards != nil {
+		for _, l := range e.shards.lanes {
+			n += l.fired
+		}
+	}
+	return n
+}
 
 // Pending reports the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	n := len(e.heap)
+	if e.shards != nil {
+		for _, l := range e.shards.lanes {
+			n += len(l.heap)
+		}
+	}
+	return n
+}
 
 // Next reports the timestamp of the earliest pending event, or clock.Never
 // when the queue is empty.
 func (e *Engine) Next() clock.Picos {
-	if len(e.heap) == 0 {
-		return clock.Never
+	t := clock.Never
+	if len(e.heap) > 0 {
+		t = e.heap[0].at
 	}
-	return e.heap[0].at
+	if e.shards != nil {
+		for _, l := range e.shards.lanes {
+			if len(l.heap) > 0 && l.heap[0].at < t {
+				t = l.heap[0].at
+			}
+		}
+	}
+	return t
 }
 
 // Schedule places ev in the queue at absolute time t, binding the event to
@@ -135,6 +173,12 @@ func (e *Engine) Next() clock.Picos {
 // in the past (or with no handler bound) is a programming error and
 // panics: silently reordering time would corrupt the DRAM timing model.
 func (e *Engine) Schedule(ev *Event, t clock.Picos) {
+	if ev.lane != nil {
+		// The event belongs to a lane; keep it there (host code touching a
+		// lane event counts as a crossing).
+		ev.lane.Schedule(ev, t)
+		return
+	}
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
@@ -144,17 +188,18 @@ func (e *Engine) Schedule(ev *Event, t clock.Picos) {
 	e.seq++
 	ev.at = t
 	ev.seq = e.seq
+	ev.schedAt = e.now
 	if ev.pos == 0 {
 		e.heap = append(e.heap, ev)
 		ev.pos = len(e.heap)
-		e.siftUp(len(e.heap) - 1)
+		evSiftUp(e.heap, len(e.heap)-1)
 		return
 	}
 	// In place: a fresh seq means the event can only sink relative to
 	// equal-timestamp peers, but an earlier t can still float it up.
 	i := ev.pos - 1
-	if !e.siftUp(i) {
-		e.siftDown(i)
+	if !evSiftUp(e.heap, i) {
+		evSiftDown(e.heap, i)
 	}
 }
 
@@ -164,80 +209,109 @@ func (e *Engine) ScheduleAfter(ev *Event, d clock.Picos) { e.Schedule(ev, e.now+
 // Cancel removes ev from the queue. Canceling an unscheduled event is a
 // no-op, so components may cancel defensively.
 func (e *Engine) Cancel(ev *Event) {
-	if ev.pos == 0 {
+	if ev.lane != nil {
+		ev.lane.Cancel(ev)
 		return
 	}
-	i := ev.pos - 1
-	n := len(e.heap) - 1
-	ev.pos = 0
-	if i == n {
-		e.heap[n] = nil
-		e.heap = e.heap[:n]
-		return
-	}
-	moved := e.heap[n]
-	e.heap[i] = moved
-	moved.pos = i + 1
-	e.heap[n] = nil
-	e.heap = e.heap[:n]
-	if !e.siftUp(i) {
-		e.siftDown(i)
-	}
+	evHeapRemove(&e.heap, ev)
 }
 
-// less orders the heap: earliest timestamp first, FIFO among equals.
-func (e *Engine) less(a, b *Event) bool {
+// evLess orders a heap: earliest timestamp first, FIFO among equals.
+// Within one heap (the host's or one lane's) seq is assigned serially, so
+// this is exactly the serial engine's firing order.
+func evLess(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-// siftUp restores the heap above index i; it reports whether i moved.
-func (e *Engine) siftUp(i int) bool {
-	ev := e.heap[i]
+// evSiftUp restores the heap above index i; it reports whether i moved.
+func evSiftUp(h []*Event, i int) bool {
+	ev := h[i]
 	moved := false
 	for i > 0 {
 		parent := (i - 1) / 2
-		p := e.heap[parent]
-		if !e.less(ev, p) {
+		p := h[parent]
+		if !evLess(ev, p) {
 			break
 		}
-		e.heap[i] = p
+		h[i] = p
 		p.pos = i + 1
 		i = parent
 		moved = true
 	}
 	if moved {
-		e.heap[i] = ev
+		h[i] = ev
 		ev.pos = i + 1
 	}
 	return moved
 }
 
-// siftDown restores the heap below index i.
-func (e *Engine) siftDown(i int) {
-	ev := e.heap[i]
-	n := len(e.heap)
+// evSiftDown restores the heap below index i.
+func evSiftDown(h []*Event, i int) {
+	ev := h[i]
+	n := len(h)
 	for {
 		left := 2*i + 1
 		if left >= n {
 			break
 		}
 		child := left
-		if right := left + 1; right < n && e.less(e.heap[right], e.heap[left]) {
+		if right := left + 1; right < n && evLess(h[right], h[left]) {
 			child = right
 		}
-		c := e.heap[child]
-		if !e.less(c, ev) {
+		c := h[child]
+		if !evLess(c, ev) {
 			break
 		}
-		e.heap[i] = c
+		h[i] = c
 		c.pos = i + 1
 		i = child
 	}
-	e.heap[i] = ev
+	h[i] = ev
 	ev.pos = i + 1
+}
+
+// evHeapRemove removes a scheduled event from its heap by index.
+func evHeapRemove(hp *[]*Event, ev *Event) {
+	if ev.pos == 0 {
+		return
+	}
+	h := *hp
+	i := ev.pos - 1
+	n := len(h) - 1
+	ev.pos = 0
+	if i == n {
+		h[n] = nil
+		*hp = h[:n]
+		return
+	}
+	moved := h[n]
+	h[i] = moved
+	moved.pos = i + 1
+	h[n] = nil
+	*hp = h[:n]
+	if !evSiftUp(h[:n], i) {
+		evSiftDown(h[:n], i)
+	}
+}
+
+// evHeapPop removes and returns the heap's earliest event.
+func evHeapPop(hp *[]*Event) *Event {
+	h := *hp
+	ev := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[0] = last
+	last.pos = 1
+	h[n] = nil
+	*hp = h[:n]
+	if n > 0 {
+		evSiftDown(h[:n], 0)
+	}
+	ev.pos = 0
+	return ev
 }
 
 // At schedules fn to run at absolute time t.
@@ -257,23 +331,17 @@ func (e *Engine) At(t clock.Picos, fn func()) {
 // After schedules fn to run d picoseconds from now.
 func (e *Engine) After(d clock.Picos, fn func()) { e.At(e.now+d, fn) }
 
-// Step fires the single earliest event. It reports false when no events
-// remain.
+// Step fires the single earliest event (on a sharded engine: one serial
+// frontier event, or one whole conservative window of shard-local events).
+// It reports false when no events remain.
 func (e *Engine) Step() bool {
+	if e.shards != nil {
+		return e.shardedStep(clock.Never)
+	}
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := e.heap[0]
-	n := len(e.heap) - 1
-	last := e.heap[n]
-	e.heap[0] = last
-	last.pos = 1
-	e.heap[n] = nil
-	e.heap = e.heap[:n]
-	if n > 0 {
-		e.siftDown(0)
-	}
-	ev.pos = 0
+	ev := evHeapPop(&e.heap)
 	e.now = ev.at
 	e.fired++
 	ev.h.OnEvent(e.now)
@@ -282,6 +350,9 @@ func (e *Engine) Step() bool {
 
 // Run fires events until the queue drains.
 func (e *Engine) Run() {
+	if e.shards != nil {
+		defer e.enterRun()()
+	}
 	for e.Step() {
 	}
 }
@@ -289,8 +360,14 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= deadline, leaving later events
 // queued. The engine clock ends at the deadline.
 func (e *Engine) RunUntil(deadline clock.Picos) {
-	for len(e.heap) > 0 && e.heap[0].at <= deadline {
-		e.Step()
+	if e.shards != nil {
+		defer e.enterRun()()
+		for e.shardedStep(deadline) {
+		}
+	} else {
+		for len(e.heap) > 0 && e.heap[0].at <= deadline {
+			e.Step()
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -298,9 +375,34 @@ func (e *Engine) RunUntil(deadline clock.Picos) {
 }
 
 // RunWhile fires events until cond reports false or the queue drains.
-// cond is checked after every event.
+// cond is checked after every step. On a sharded engine one step may fire
+// a whole window of shard-local events, so cond must depend only on
+// host-lane state (completion flags, callback-set results): host state
+// only ever changes at the serial frontier, where cond is evaluated after
+// every event exactly like the serial engine. A condition that reads
+// component state a window batches past — queue occupancies, channel
+// counters — must use RunWhileSerial instead, or shard counts could
+// disagree on where it stopped.
 func (e *Engine) RunWhile(cond func() bool) {
+	if e.shards != nil {
+		defer e.enterRun()()
+	}
 	for cond() && e.Step() {
+	}
+}
+
+// RunWhileSerial is RunWhile with window execution disabled: every event
+// fires one at a time with cond evaluated between events, on any engine.
+// Use it when cond reads state that shard-local events mutate; the serial
+// stop point is then identical across shard counts (at the cost of no
+// parallelism, so keep it to short phases such as queue drains).
+func (e *Engine) RunWhileSerial(cond func() bool) {
+	if e.shards == nil {
+		for cond() && e.Step() {
+		}
+		return
+	}
+	for cond() && e.serialStep(clock.Never) {
 	}
 }
 

@@ -1,0 +1,659 @@
+// Sharded execution: conservative-window parallel simulation of a single
+// machine.
+//
+// A sharded engine (NewSharded) partitions the event queue into lanes.
+// Lane 0 — the host lane — is the engine's own heap and carries every
+// component that can touch shared machine state: CPU cores, the DCE, the
+// LLC/memsys front end, tickers and closures. Each DDR4 channel claims its
+// own lane via NewLane; a lane is one shard of the event queue with its
+// own intrusive heap, its own clock, and its own serially assigned
+// sequence numbers.
+//
+// Every scheduled event is classified at schedule time:
+//
+//   - local: firing it touches only its lane's state (a channel scheduler
+//     tick with no registered waiters, a data-burst completion with no
+//     completion callback). Local events may fire concurrently with other
+//     lanes' local events.
+//   - crossing: firing it may touch state outside its lane (any host
+//     event, a completion that invokes a caller's OnDone, a tick that will
+//     notify queue-space waiters). Crossing events are entered into the
+//     lane's mailbox — a sub-heap ordered by timestamp — and only ever
+//     fire serially, at the shared frontier, in a canonical deterministic
+//     order.
+//
+// The dispatcher alternates between two modes:
+//
+//   - Window mode: let H be the earliest crossing timestamp anywhere (the
+//     frontier) capped by every lane's conservative lookahead — the
+//     minimum delay after which a lane-local event can schedule a new
+//     crossing (for a DDR4 channel, the command-to-data latency
+//     min(CL,CWL)+BL: nothing a controller does becomes externally visible
+//     sooner than its data burst). All events strictly before H are
+//     provably lane-local and independent across lanes, so the lanes drain
+//     them in parallel, each stopping at H or at its first crossing event.
+//     At the window barrier the mailboxes are re-examined and the frontier
+//     advances.
+//   - Serial fallback: when the window degenerates (fewer than two lanes
+//     have runnable local events before H, or the engine was built with
+//     one worker), the single earliest event fires on the caller's
+//     goroutine, exactly like the serial engine.
+//
+// Determinism contract: results are byte-identical across worker counts by
+// construction — window execution only ever covers commuting events, and
+// the serial frontier uses a canonical order, (timestamp, schedule
+// timestamp, lane, per-lane seq), that does not depend on how many workers
+// execute windows. Where schedule timestamps differ, that order is also
+// exactly the serial engine's (its global sequence numbers increase with
+// scheduling time), which is what keeps sharded runs byte-identical to
+// serial runs on every experiment; the cross-shard regression tests pin
+// this equivalence.
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+)
+
+// Scheduler is the scheduling surface a timed component binds its standing
+// events to: the serial engine itself, or one lane of a sharded engine.
+// Components that can classify their events (see ScheduleLocal) should
+// hold a Scheduler instead of an *Engine so they shard transparently.
+type Scheduler interface {
+	// Now reports the component's current simulated time: the lane-local
+	// clock while the lane runs a window, the engine clock otherwise.
+	Now() clock.Picos
+	// Schedule places a crossing event: one whose handler may touch state
+	// outside the component's lane.
+	Schedule(ev *Event, t clock.Picos)
+	// ScheduleLocal places a lane-local event: the caller asserts the
+	// handler touches nothing outside its lane. On a serial engine this is
+	// identical to Schedule.
+	ScheduleLocal(ev *Event, t clock.Picos)
+	// Cancel removes the event if scheduled.
+	Cancel(ev *Event)
+	// Promote reclassifies an already scheduled local event as crossing
+	// (a waiter registered against the component after the event was
+	// scheduled). No-op when unscheduled or already crossing.
+	Promote(ev *Event)
+	// SetCrossingFree declares whether the component currently cannot
+	// schedule any crossing event at all (for a DDR4 channel: no queued
+	// request carries a completion callback and no waiter is registered).
+	// A crossing-free lane needs no conservative lookahead cap, so
+	// windows stretch to the next real frontier event. Transitions to
+	// false only happen from host context (serial), which is what makes
+	// the relaxation safe.
+	SetCrossingFree(free bool)
+}
+
+// ScheduleLocal on the serial engine is plain Schedule: everything shares
+// one heap, so locality carries no meaning.
+func (e *Engine) ScheduleLocal(ev *Event, t clock.Picos) { e.Schedule(ev, t) }
+
+// Promote is a no-op on the serial engine.
+func (e *Engine) Promote(*Event) {}
+
+// SetCrossingFree is a no-op on the serial engine.
+func (e *Engine) SetCrossingFree(bool) {}
+
+var _ Scheduler = (*Engine)(nil)
+var _ Scheduler = (*Lane)(nil)
+
+// shardSet is the sharded extension of an Engine.
+type shardSet struct {
+	workers int
+	lanes   []*Lane
+	pool    *windowPool
+	// runDepth counts nested Run/RunUntil/RunWhile calls; the worker
+	// pool only exists inside them, so no goroutine outlives a run loop.
+	runDepth int
+}
+
+// NewSharded returns an engine whose components may claim per-shard event
+// lanes (NewLane); windows of provably independent lane-local events run
+// across up to workers goroutines. workers <= 1 still shards the event
+// queue but executes everything serially — the determinism reference.
+func NewSharded(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{shards: &shardSet{workers: workers}}
+}
+
+// Sharded reports whether the engine was built with NewSharded.
+func (e *Engine) Sharded() bool { return e.shards != nil }
+
+// Workers reports how many goroutines execute windows (1 for a serial
+// engine).
+func (e *Engine) Workers() int {
+	if e.shards == nil {
+		return 1
+	}
+	return e.shards.workers
+}
+
+// NewLane claims a fresh event lane with the given conservative lookahead:
+// the minimum simulated delay between a lane-local event firing and any
+// crossing event it can schedule. A zero lookahead makes the lane
+// serial-only. On a serial engine NewLane returns the engine itself, so
+// components shard transparently.
+func (e *Engine) NewLane(lookahead clock.Picos) Scheduler {
+	if e.shards == nil {
+		return e
+	}
+	// Lanes are claimed at machine construction: the window pool and the
+	// worker partition snapshot the lane set, so growing it mid-run would
+	// leave the new lane undrained by windows.
+	if e.shards.pool != nil || e.shards.runDepth > 0 {
+		panic("sim: NewLane while the engine is running")
+	}
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	l := &Lane{eng: e, id: len(e.shards.lanes) + 1, lookahead: lookahead}
+	e.shards.lanes = append(e.shards.lanes, l)
+	return l
+}
+
+// Lane is one shard of a sharded engine's event queue.
+type Lane struct {
+	eng       *Engine
+	id        int
+	lookahead clock.Picos
+	// crossingFree mirrors the component's SetCrossingFree declaration;
+	// while true the lane's lookahead cap is waived.
+	crossingFree bool
+
+	now   clock.Picos // last fired event's timestamp in this lane
+	seq   uint64
+	fired uint64
+	heap  []*Event // all scheduled events, (at, seq) order
+	mail  []*Event // mailbox: the crossing subset, ordered by at
+}
+
+// Now reports the lane clock: the engine's serial clock, or the lane's own
+// when it has run ahead inside the current window.
+func (l *Lane) Now() clock.Picos {
+	if l.now > l.eng.now {
+		return l.now
+	}
+	return l.eng.now
+}
+
+// Schedule places ev as a crossing event.
+func (l *Lane) Schedule(ev *Event, t clock.Picos) { l.schedule(ev, t, true) }
+
+// ScheduleLocal places ev as a lane-local event.
+func (l *Lane) ScheduleLocal(ev *Event, t clock.Picos) { l.schedule(ev, t, false) }
+
+func (l *Lane) schedule(ev *Event, t clock.Picos, crossing bool) {
+	now := l.Now()
+	if t < now {
+		panic("sim: event scheduled in the past")
+	}
+	if ev.h == nil {
+		panic("sim: event with no handler (missing Init)")
+	}
+	if ev.pos != 0 && ev.lane != l {
+		panic("sim: event rescheduled across lanes")
+	}
+	ev.lane = l
+	l.seq++
+	ev.at = t
+	ev.seq = l.seq
+	ev.schedAt = now
+	if ev.pos == 0 {
+		l.heap = append(l.heap, ev)
+		ev.pos = len(l.heap)
+		evSiftUp(l.heap, len(l.heap)-1)
+	} else {
+		i := ev.pos - 1
+		if !evSiftUp(l.heap, i) {
+			evSiftDown(l.heap, i)
+		}
+	}
+	if crossing {
+		if ev.mpos == 0 {
+			l.mail = append(l.mail, ev)
+			ev.mpos = len(l.mail)
+			mailSiftUp(l.mail, len(l.mail)-1)
+		} else {
+			i := ev.mpos - 1
+			if !mailSiftUp(l.mail, i) {
+				mailSiftDown(l.mail, i)
+			}
+		}
+	} else if ev.mpos != 0 {
+		mailRemove(&l.mail, ev)
+	}
+}
+
+// Cancel removes ev from the lane.
+func (l *Lane) Cancel(ev *Event) {
+	if ev.pos == 0 {
+		return
+	}
+	if ev.lane != l {
+		panic("sim: Cancel on another lane's event")
+	}
+	if ev.mpos != 0 {
+		mailRemove(&l.mail, ev)
+	}
+	evHeapRemove(&l.heap, ev)
+}
+
+// SetCrossingFree waives (or restores) the lane's lookahead cap.
+func (l *Lane) SetCrossingFree(free bool) { l.crossingFree = free }
+
+// Promote reclassifies a scheduled local event as crossing.
+func (l *Lane) Promote(ev *Event) {
+	if ev.pos == 0 || ev.lane != l || ev.mpos != 0 {
+		return
+	}
+	l.mail = append(l.mail, ev)
+	ev.mpos = len(l.mail)
+	mailSiftUp(l.mail, len(l.mail)-1)
+}
+
+// runLocal drains the lane's local events strictly before horizon h,
+// stopping at the first crossing event. Only called between barriers, with
+// every other lane either parked or running its own runLocal.
+func (l *Lane) runLocal(h clock.Picos) {
+	for len(l.heap) > 0 {
+		ev := l.heap[0]
+		if ev.at >= h || ev.mpos != 0 {
+			return
+		}
+		evHeapPop(&l.heap)
+		l.now = ev.at
+		l.fired++
+		ev.h.OnEvent(ev.at)
+	}
+}
+
+// headBefore is the canonical frontier order across heaps: timestamp, then
+// schedule timestamp (which reproduces the serial engine's global
+// scheduling order whenever the two differ), then lane, then per-lane seq.
+func headBefore(a *Event, aLane int, b *Event, bLane int) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if aLane != bLane {
+		return aLane < bLane
+	}
+	return a.seq < b.seq
+}
+
+// minHead finds the globally earliest event under the canonical order
+// (lane 0 = the host heap).
+func (e *Engine) minHead() (*Event, int) {
+	var best *Event
+	bestLane := 0
+	if len(e.heap) > 0 {
+		best = e.heap[0]
+	}
+	for _, l := range e.shards.lanes {
+		if len(l.heap) == 0 {
+			continue
+		}
+		if hd := l.heap[0]; best == nil || headBefore(hd, l.id, best, bestLane) {
+			best, bestLane = hd, l.id
+		}
+	}
+	return best, bestLane
+}
+
+// serialStep fires the single earliest event at the frontier, ignoring
+// events beyond limit. It reports false when nothing remains in range.
+func (e *Engine) serialStep(limit clock.Picos) bool {
+	best, bestLane := e.minHead()
+	if best == nil || best.at > limit {
+		return false
+	}
+	e.fireSerial(best, bestLane)
+	return true
+}
+
+// fireSerial pops and fires one event on the caller's goroutine.
+func (e *Engine) fireSerial(best *Event, bestLane int) {
+	if bestLane == 0 {
+		evHeapPop(&e.heap)
+		e.now = best.at
+		e.fired++
+		best.h.OnEvent(e.now)
+		return
+	}
+	l := e.shards.lanes[bestLane-1]
+	evHeapPop(&l.heap)
+	if best.mpos != 0 {
+		mailRemove(&l.mail, best)
+	}
+	l.now = best.at
+	e.now = best.at
+	e.fired++
+	best.h.OnEvent(e.now)
+}
+
+// shardedStep advances a sharded engine by one serial frontier event or
+// one parallel window, ignoring events beyond limit. It reports false when
+// nothing remains at or before limit.
+func (e *Engine) shardedStep(limit clock.Picos) bool {
+	s := e.shards
+	best, bestLane := e.minHead()
+	if best == nil || best.at > limit {
+		return false
+	}
+
+	// Safe horizon: the earliest crossing anywhere (host events always
+	// cross), capped by each lane's conservative lookahead on the events
+	// it would fire this window.
+	h := clock.Never
+	if len(e.heap) > 0 {
+		h = e.heap[0].at
+	}
+	for _, l := range s.lanes {
+		if len(l.mail) > 0 && l.mail[0].at < h {
+			h = l.mail[0].at
+		}
+		if len(l.heap) > 0 && !l.crossingFree {
+			if w := l.heap[0].at + l.lookahead; w >= l.heap[0].at && w < h {
+				h = w
+			}
+		}
+	}
+	if limit < clock.Never && limit+1 < h {
+		h = limit + 1
+	}
+
+	// Window mode needs at least two lanes with runnable local work;
+	// otherwise parallelism cannot pay for the barrier.
+	if s.workers > 1 {
+		eligible := 0
+		for _, l := range s.lanes {
+			if len(l.heap) > 0 && l.heap[0].mpos == 0 && l.heap[0].at < h {
+				if eligible++; eligible >= 2 {
+					break
+				}
+			}
+		}
+		if eligible >= 2 {
+			e.runWindow(h)
+			return true
+		}
+	}
+
+	// Serial fallback: fire the single earliest event at the frontier.
+	e.fireSerial(best, bestLane)
+	return true
+}
+
+// runWindow drains every lane's local events before h across the worker
+// pool (inside a run loop) or one-shot goroutines (a bare Step, where a
+// persistent pool would have nothing to stop it). Lane-to-worker
+// assignment is static; it cannot affect results because window events
+// commute across lanes.
+func (e *Engine) runWindow(h clock.Picos) {
+	s := e.shards
+	workers := s.workers
+	if workers > len(s.lanes) {
+		workers = len(s.lanes)
+	}
+	if s.pool == nil && s.runDepth > 0 {
+		s.pool = newWindowPool(s.lanes, workers)
+	}
+	if s.pool != nil {
+		s.pool.runWindow(h)
+	} else {
+		runWindowAdhoc(s.lanes, workers, h)
+	}
+	// Advance the serial clock to the furthest point the window reached:
+	// every event fired in it was before h, and every remaining event is
+	// at or beyond h, so this can never move time past a pending event.
+	for _, l := range s.lanes {
+		if l.now > e.now {
+			e.now = l.now
+		}
+	}
+}
+
+// runWindowAdhoc is the poolless window executor: spawn, run, join.
+func runWindowAdhoc(lanes []*Lane, workers int, h clock.Picos) {
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicAt  = -1
+		panicVal any
+	)
+	run := func(start int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicAt < 0 || start < panicAt {
+					panicAt, panicVal = start, r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for i := start; i < len(lanes); i += workers {
+			lanes[i].runLocal(h)
+		}
+	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			run(w)
+		}(w)
+	}
+	run(0)
+	wg.Wait()
+	if panicAt >= 0 {
+		panic(panicVal)
+	}
+}
+
+// enterRun brackets a run loop: while at least one is active the engine
+// may keep a persistent worker pool; when the outermost exits the pool
+// is parked, so no goroutine outlives a Run/RunUntil/RunWhile call.
+func (e *Engine) enterRun() func() {
+	s := e.shards
+	s.runDepth++
+	return func() {
+		if s.runDepth--; s.runDepth == 0 && s.pool != nil {
+			s.pool.shutdown()
+			s.pool = nil
+		}
+	}
+}
+
+// windowPool executes windows across persistent helper goroutines. Waking
+// a parked goroutine costs on the order of a microsecond — comparable to
+// a whole small window — so helpers spin briefly between windows (windows
+// arrive back to back while the simulation is channel-bound) and park on
+// a channel when the frontier goes quiet.
+type windowPool struct {
+	lanes   []*Lane
+	workers int // including the caller's goroutine (worker 0)
+
+	h     clock.Picos  // horizon of the current window; written before epoch
+	epoch atomic.Int64 // incremented to release helpers into a window
+	done  atomic.Int64 // helpers completed in the current window
+	quit  chan struct{}
+	wake  []chan struct{} // per helper, buffered: nudges parked helpers
+
+	panicMu sync.Mutex
+	panicAt int // lowest worker index that panicked; -1 when none
+	panicV  any
+	exited  sync.WaitGroup
+}
+
+// poolSpin is how many scheduler yields a helper burns before parking.
+const poolSpin = 512
+
+func newWindowPool(lanes []*Lane, workers int) *windowPool {
+	p := &windowPool{
+		lanes:   lanes,
+		workers: workers,
+		quit:    make(chan struct{}),
+		panicAt: -1,
+	}
+	p.exited.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		ch := make(chan struct{}, 1)
+		p.wake = append(p.wake, ch)
+		go p.helper(w, ch)
+	}
+	return p
+}
+
+// helper is one pool goroutine: wait for an epoch, run its lane share,
+// report done.
+func (p *windowPool) helper(w int, wake chan struct{}) {
+	defer p.exited.Done()
+	last := int64(0)
+	for {
+		spins := 0
+		for p.epoch.Load() == last {
+			if spins++; spins <= poolSpin {
+				select {
+				case <-p.quit:
+					return
+				default:
+					runtime.Gosched()
+				}
+				continue
+			}
+			select {
+			case <-wake:
+			case <-p.quit:
+				return
+			}
+			spins = 0
+		}
+		last = p.epoch.Load()
+		p.runShare(w)
+		p.done.Add(1)
+	}
+}
+
+// runShare drains worker w's statically assigned lanes, capturing panics
+// so a worker failure surfaces on the caller instead of killing the
+// process.
+func (p *windowPool) runShare(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicAt < 0 || w < p.panicAt {
+				p.panicAt, p.panicV = w, r
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	h := p.h
+	for i := w; i < len(p.lanes); i += p.workers {
+		p.lanes[i].runLocal(h)
+	}
+}
+
+// runWindow releases the helpers into one window and joins them.
+func (p *windowPool) runWindow(h clock.Picos) {
+	p.h = h
+	p.done.Store(0)
+	p.epoch.Add(1)
+	for _, ch := range p.wake {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	p.runShare(0)
+	for p.done.Load() < int64(p.workers-1) {
+		runtime.Gosched()
+	}
+	if p.panicAt >= 0 {
+		v := p.panicV
+		p.panicAt, p.panicV = -1, nil
+		panic(v)
+	}
+}
+
+// shutdown parks the pool for good.
+func (p *windowPool) shutdown() {
+	close(p.quit)
+	p.exited.Wait()
+}
+
+// Mailbox heap: a second intrusive index (Event.mpos) ordering a lane's
+// crossing events by timestamp alone — only the head's timestamp is ever
+// read (the frontier), so tie order inside the mailbox is irrelevant.
+
+func mailSiftUp(h []*Event, i int) bool {
+	ev := h[i]
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if ev.at >= p.at {
+			break
+		}
+		h[i] = p
+		p.mpos = i + 1
+		i = parent
+		moved = true
+	}
+	if moved {
+		h[i] = ev
+		ev.mpos = i + 1
+	}
+	return moved
+}
+
+func mailSiftDown(h []*Event, i int) {
+	ev := h[i]
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h[right].at < h[left].at {
+			child = right
+		}
+		c := h[child]
+		if c.at >= ev.at {
+			break
+		}
+		h[i] = c
+		c.mpos = i + 1
+		i = child
+	}
+	h[i] = ev
+	ev.mpos = i + 1
+}
+
+func mailRemove(hp *[]*Event, ev *Event) {
+	h := *hp
+	i := ev.mpos - 1
+	n := len(h) - 1
+	ev.mpos = 0
+	if i == n {
+		h[n] = nil
+		*hp = h[:n]
+		return
+	}
+	moved := h[n]
+	h[i] = moved
+	moved.mpos = i + 1
+	h[n] = nil
+	*hp = h[:n]
+	if !mailSiftUp(h[:n], i) {
+		mailSiftDown(h[:n], i)
+	}
+}

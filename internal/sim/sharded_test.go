@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// shardedHarness is a synthetic multi-lane machine: nLanes lanes each run
+// a self-rescheduling local event chain, periodically scheduling crossing
+// events that append to a shared log next to a host ticker. The log and
+// the final counters must not depend on the worker count.
+type shardedHarness struct {
+	eng    *Engine
+	log    []string
+	lanes  []*benchLane
+	hostEv Event
+	hostN  int
+}
+
+type benchLane struct {
+	h         *shardedHarness
+	sched     Scheduler
+	id        int
+	tick      Event
+	cross     Event
+	step      clock.Picos
+	remaining int
+	fired     int
+}
+
+// OnEvent is the lane's local chain: pure lane-local state.
+func (l *benchLane) OnEvent(now clock.Picos) {
+	l.fired++
+	if l.remaining--; l.remaining > 0 {
+		l.sched.ScheduleLocal(&l.tick, now+l.step)
+	}
+	// Every fourth firing schedules a crossing event one lookahead out,
+	// which appends to the shared log when it fires at the frontier.
+	if l.fired%4 == 0 {
+		if !l.cross.Scheduled() {
+			l.sched.Schedule(&l.cross, now+lookaheadPs)
+		}
+	}
+}
+
+type crossFire struct{ l *benchLane }
+
+func (c crossFire) OnEvent(now clock.Picos) {
+	h := c.l.h
+	h.log = append(h.log, fmt.Sprintf("%d lane%d f%d", now, c.l.id, c.l.fired))
+}
+
+const lookaheadPs = 5000
+
+// buildHarness wires nLanes lanes with n local events each onto eng.
+func buildHarness(eng *Engine, nLanes, perLane int) *shardedHarness {
+	h := &shardedHarness{eng: eng}
+	for i := 0; i < nLanes; i++ {
+		l := &benchLane{
+			h:     h,
+			sched: eng.NewLane(lookaheadPs),
+			id:    i,
+			// Distinct primes stagger the lanes' clocks so windows see
+			// uneven load.
+			step:      clock.Picos(701 + 97*i),
+			remaining: perLane,
+		}
+		l.tick.Init(l)
+		l.cross.Init(crossFire{l})
+		l.sched.ScheduleLocal(&l.tick, l.step)
+		h.lanes = append(h.lanes, l)
+	}
+	h.hostEv.Init(HandlerFunc(func(now clock.Picos) {
+		h.hostN++
+		h.log = append(h.log, fmt.Sprintf("%d host %d", now, h.hostN))
+		if h.hostN < 40 {
+			eng.Schedule(&h.hostEv, now+3301)
+		}
+	}))
+	eng.Schedule(&h.hostEv, 1000)
+	return h
+}
+
+// runHarness drives one full run at the given worker count and returns
+// the shared log plus per-lane fired counts.
+func runHarness(workers, nLanes, perLane int) ([]string, []int, uint64) {
+	eng := NewSharded(workers)
+	h := buildHarness(eng, nLanes, perLane)
+	eng.Run()
+	counts := make([]int, nLanes)
+	for i, l := range h.lanes {
+		counts[i] = l.fired
+	}
+	return h.log, counts, eng.Fired()
+}
+
+// TestShardedDeterministicAcrossWorkers pins the construction-level
+// guarantee: the crossing-event log, every lane's event count, and the
+// total fired count are identical for 1, 2, 3, 4 and 8 workers.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	refLog, refCounts, refFired := runHarness(1, 6, 400)
+	if len(refLog) == 0 {
+		t.Fatal("harness produced no crossing events")
+	}
+	for _, w := range []int{2, 3, 4, 8} {
+		log, counts, fired := runHarness(w, 6, 400)
+		if !reflect.DeepEqual(log, refLog) {
+			t.Fatalf("workers=%d: crossing log diverged (len %d vs %d)", w, len(log), len(refLog))
+		}
+		if !reflect.DeepEqual(counts, refCounts) {
+			t.Fatalf("workers=%d: lane counts %v != %v", w, counts, refCounts)
+		}
+		if fired != refFired {
+			t.Fatalf("workers=%d: fired %d != %d", w, fired, refFired)
+		}
+	}
+}
+
+// TestShardedFrontierSafety checks the conservative window never runs a
+// lane past a pending host event: a host probe at a fixed time must
+// observe exactly the lane events with earlier timestamps, regardless of
+// worker count.
+func TestShardedFrontierSafety(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		eng := NewSharded(w)
+		type counterLane struct {
+			ev    Event
+			n     int
+			sched Scheduler
+		}
+		lanes := make([]*counterLane, 4)
+		for i := range lanes {
+			l := &counterLane{sched: eng.NewLane(1000)}
+			step := clock.Picos(10 + i) // events at 10,20,... / 11,22,...
+			l.ev.Init(HandlerFunc(func(now clock.Picos) {
+				l.n++
+				if now < 100000 {
+					l.sched.ScheduleLocal(&l.ev, now+step)
+				}
+			}))
+			l.sched.ScheduleLocal(&l.ev, step)
+			lanes[i] = l
+		}
+		const probeAt = 50000
+		var seen []int
+		eng.At(probeAt, func() {
+			for _, l := range lanes {
+				seen = append(seen, l.n)
+			}
+		})
+		eng.Run()
+		for i, l := range lanes {
+			step := 10 + i
+			want := (probeAt - 1) / step // events strictly before the probe
+			if seen[i] != want {
+				t.Errorf("workers=%d lane%d: probe saw %d events, want %d", w, i, seen[i], want)
+			}
+			_ = l
+		}
+	}
+}
+
+// TestShardedPromote verifies a promoted event joins the mailbox: after
+// Promote, the event must fire at the frontier in canonical order with
+// host events rather than inside a window. Observable consequence: a
+// promoted event and a host event at the same timestamp fire in
+// deterministic relative order at every worker count, with the log intact.
+func TestShardedPromote(t *testing.T) {
+	run := func(workers int) []string {
+		eng := NewSharded(workers)
+		var log []string
+		sched := eng.NewLane(100)
+		var lane Event
+		lane.Init(HandlerFunc(func(now clock.Picos) {
+			log = append(log, fmt.Sprintf("lane@%d", now))
+		}))
+		sched.ScheduleLocal(&lane, 500)
+		sched.Promote(&lane)
+		// A second, still-local lane keeps window mode reachable.
+		sched2 := eng.NewLane(100)
+		var filler Event
+		n := 0
+		filler.Init(HandlerFunc(func(now clock.Picos) {
+			if n++; n < 50 {
+				sched2.ScheduleLocal(&filler, now+20)
+			}
+		}))
+		sched2.ScheduleLocal(&filler, 20)
+		eng.At(500, func() { log = append(log, "host@500") })
+		eng.Run()
+		return log
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: log %v != %v", w, got, ref)
+		}
+	}
+}
+
+// TestShardedRunUntil checks deadline semantics on a sharded engine: only
+// events at or before the deadline fire and the clock lands on it.
+func TestShardedRunUntil(t *testing.T) {
+	eng := NewSharded(2)
+	sched := eng.NewLane(50)
+	fired := 0
+	var ev Event
+	ev.Init(HandlerFunc(func(now clock.Picos) {
+		fired++
+		if now < 4000 {
+			sched.ScheduleLocal(&ev, now+100)
+		}
+	}))
+	sched.ScheduleLocal(&ev, 100)
+	hostFired := 0
+	eng.At(5000, func() { hostFired++ })
+	eng.RunUntil(1000)
+	if fired != 10 {
+		t.Errorf("fired %d lane events by t=1000, want 10", fired)
+	}
+	if hostFired != 0 {
+		t.Errorf("host event at 5000 fired before deadline")
+	}
+	if eng.Now() != 1000 {
+		t.Errorf("Now = %v, want 1000", eng.Now())
+	}
+	if eng.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", eng.Pending())
+	}
+	eng.Run()
+	if hostFired != 1 {
+		t.Errorf("host event did not fire after resume")
+	}
+}
+
+// TestShardedCancel removes a crossing event and checks the mailbox does
+// not keep stalling the frontier (the run must drain completely).
+func TestShardedCancel(t *testing.T) {
+	eng := NewSharded(2)
+	sched := eng.NewLane(100)
+	var cross Event
+	cross.Init(HandlerFunc(func(clock.Picos) { t.Error("canceled event fired") }))
+	sched.Schedule(&cross, 10000)
+	var local Event
+	n := 0
+	local.Init(HandlerFunc(func(now clock.Picos) {
+		if n++; n < 20 {
+			sched.ScheduleLocal(&local, now+5)
+		}
+	}))
+	sched.ScheduleLocal(&local, 5)
+	sched.Cancel(&cross)
+	if cross.Scheduled() {
+		t.Fatal("event still scheduled after Cancel")
+	}
+	eng.Run()
+	if n != 20 {
+		t.Errorf("local chain fired %d, want 20", n)
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("Pending = %d after Run", eng.Pending())
+	}
+}
+
+// TestSerialEngineIsAScheduler pins that a plain engine satisfies the
+// Scheduler surface lanes offer, so components shard transparently.
+func TestSerialEngineIsAScheduler(t *testing.T) {
+	eng := New()
+	s := eng.NewLane(1234)
+	if s != Scheduler(eng) {
+		t.Fatal("NewLane on a serial engine must return the engine itself")
+	}
+	var ev Event
+	fired := false
+	ev.Init(HandlerFunc(func(clock.Picos) { fired = true }))
+	s.ScheduleLocal(&ev, 10)
+	s.Promote(&ev) // no-op
+	eng.Run()
+	if !fired {
+		t.Fatal("event did not fire through the Scheduler surface")
+	}
+}
+
+// TestBareStepLeavesNoPool drives a sharded engine with bare Step calls
+// (no run-loop bracket): windows must execute ad hoc and leave no
+// persistent worker pool behind to leak.
+func TestBareStepLeavesNoPool(t *testing.T) {
+	eng := NewSharded(4)
+	h := buildHarness(eng, 6, 200)
+	for eng.Step() {
+	}
+	if eng.shards.pool != nil {
+		t.Fatal("bare Step left a persistent worker pool")
+	}
+	if eng.shards.runDepth != 0 {
+		t.Fatalf("runDepth = %d after bare stepping", eng.shards.runDepth)
+	}
+	_ = h
+	// And a bracketed run on the same engine still works and cleans up.
+	eng2 := NewSharded(4)
+	buildHarness(eng2, 6, 200)
+	eng2.Run()
+	if eng2.shards.pool != nil || eng2.shards.runDepth != 0 {
+		t.Fatal("Run did not park its pool")
+	}
+}

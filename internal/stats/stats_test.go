@@ -68,6 +68,100 @@ func TestSeriesNegativeTimePanics(t *testing.T) {
 	s.Add(-1, 1)
 }
 
+// TestSeriesSparseTail is the regression for the unbounded-growth bug:
+// one far-future timestamp used to append O(t/window) zero buckets (a
+// multi-hour timestamp at a 50 us window is hundreds of millions of
+// float64s — enough for a long replay to OOM the harness). The stray must
+// land in the sparse tail, stay addressable, and leave the dense prefix
+// untouched.
+func TestSeriesSparseTail(t *testing.T) {
+	s := NewSeries(50 * clock.Microsecond)
+	s.Add(0, 1)
+	s.Add(60*clock.Microsecond, 2)
+	far := 3 * clock.Picos(3600) * clock.Second // a 3-hour stray
+	s.Add(far, 5)
+	farIdx := int(far / s.Window())
+	if s.Len() > maxDenseGap+2 {
+		t.Fatalf("dense prefix grew to %d buckets on a far-future Add", s.Len())
+	}
+	if s.SparseLen() != 1 {
+		t.Fatalf("SparseLen = %d, want 1", s.SparseLen())
+	}
+	if got := s.Bucket(farIdx); got != 5 {
+		t.Errorf("far bucket = %v, want 5", got)
+	}
+	if s.MaxIndex() != int64(farIdx) {
+		t.Errorf("MaxIndex = %d, want %d", s.MaxIndex(), farIdx)
+	}
+	if s.Total() != 8 {
+		t.Errorf("Total = %v, want 8", s.Total())
+	}
+	// Dense samples still work after the stray.
+	s.Add(120*clock.Microsecond, 3)
+	if got := s.Bucket(2); got != 3 {
+		t.Errorf("dense bucket after stray = %v, want 3", got)
+	}
+	if s.Total() != 11 {
+		t.Errorf("Total = %v, want 11", s.Total())
+	}
+}
+
+// TestSeriesSparseFold checks a sparse stray folds into the dense prefix
+// once contiguous sampling catches up to its window.
+func TestSeriesSparseFold(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(0, 1)
+	strayAt := clock.Picos(10 * (maxDenseGap + 100))
+	s.Add(strayAt, 7) // beyond the dense gap: sparse
+	if s.SparseLen() != 1 {
+		t.Fatalf("SparseLen = %d, want 1", s.SparseLen())
+	}
+	// Walk contiguous samples up past the stray.
+	for t1 := clock.Picos(10); t1 <= strayAt+10; t1 += 10 {
+		s.Add(t1, 1)
+	}
+	if s.SparseLen() != 0 {
+		t.Fatalf("stray did not fold into the dense prefix (SparseLen=%d)", s.SparseLen())
+	}
+	idx := int(strayAt / 10)
+	if got := s.Bucket(idx); got != 8 {
+		t.Errorf("folded bucket = %v, want 8 (stray 7 + walk 1)", got)
+	}
+	want := 2 + float64(strayAt/10) + 7
+	if got := s.Total(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+}
+
+// TestSeriesPostGapRun checks a long legitimate idle gap does not freeze
+// accumulation: samples after the gap grow their own contiguous segment,
+// stay fully addressable, and fold into one run if sampling ever covers
+// the gap.
+func TestSeriesPostGapRun(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(0, 1)
+	gapStart := int64(10 * (maxDenseGap + 1000))
+	// A contiguous run well beyond the dense slack.
+	for j := int64(0); j < 500; j++ {
+		s.Add(clock.Picos(gapStart+10*j), 2)
+	}
+	if s.Len() != 1 {
+		t.Errorf("prefix Len = %d, want 1 (gap must not zero-fill)", s.Len())
+	}
+	base := int(gapStart / 10)
+	for _, j := range []int{0, 250, 499} {
+		if got := s.Bucket(base + j); got != 2 {
+			t.Fatalf("post-gap bucket %d = %v, want 2", j, got)
+		}
+	}
+	if s.SparseLen() != 500 {
+		t.Errorf("SparseLen = %d, want 500", s.SparseLen())
+	}
+	if want := 1 + 2*500.0; s.Total() != want {
+		t.Errorf("Total = %v, want %v", s.Total(), want)
+	}
+}
+
 // Property: total equals the sum of added values regardless of bucketing.
 func TestSeriesTotalProperty(t *testing.T) {
 	f := func(raw []uint16) bool {

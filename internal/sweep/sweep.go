@@ -18,9 +18,39 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// JobPanic wraps a panic raised inside a sweep job so it can cross the
+// worker-goroutine boundary without losing anything: Value is the
+// original panic value (typed errors and sentinels survive intact for
+// recover-side inspection), Index is the job that raised it, and Stack is
+// the panicking goroutine's stack — the one that actually points at the
+// bug, which the re-raise on the caller's goroutine cannot show.
+type JobPanic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error makes a recovered *JobPanic usable as an error. It includes the
+// worker stack: when the re-raised panic goes uncaught, the runtime
+// prints Error(), and the caller-side traceback alone never shows where
+// the job actually failed.
+func (p *JobPanic) Error() string {
+	return fmt.Sprintf("sweep: job %d panicked: %v\n\nworker stack:\n%s", p.Index, p.Value, p.Stack)
+}
+
+// Unwrap exposes Value when it is itself an error, so errors.Is/As reach
+// through the wrapper.
+func (p *JobPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // workerOverride is the process-wide worker count; <= 0 selects
 // GOMAXPROCS.
@@ -49,7 +79,9 @@ func Map[R any](n int, job func(i int) R) []R {
 // GOMAXPROCS). Jobs must be independent: each builds its own state and
 // touches no shared mutables. A panicking job does not crash the process
 // from a worker goroutine; the lowest-index panic is re-raised on the
-// caller once all workers have stopped.
+// caller once all workers have stopped, wrapped in a *JobPanic that
+// preserves the original panic value, the job index, and the worker
+// goroutine's stack.
 func MapN[R any](n, workers int, job func(i int) R) []R {
 	out := make([]R, n)
 	if n == 0 {
@@ -71,8 +103,7 @@ func MapN[R any](n, workers int, job func(i int) R) []R {
 		next    atomic.Int64
 		wg      sync.WaitGroup
 		panicMu sync.Mutex
-		panicAt = -1
-		panicV  any
+		fail    *JobPanic
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -83,28 +114,28 @@ func MapN[R any](n, workers int, job func(i int) R) []R {
 				if i >= n {
 					return
 				}
-				if !runOne(out, i, job, &panicMu, &panicAt, &panicV) {
+				if !runOne(out, i, job, &panicMu, &fail) {
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if panicAt >= 0 {
-		panic(fmt.Sprintf("sweep: job %d panicked: %v", panicAt, panicV))
+	if fail != nil {
+		panic(fail)
 	}
 	return out
 }
 
 // runOne executes one job, capturing a panic instead of killing the
 // process. It reports whether the worker should continue.
-func runOne[R any](out []R, i int, job func(int) R, mu *sync.Mutex, at *int, val *any) (ok bool) {
+func runOne[R any](out []R, i int, job func(int) R, mu *sync.Mutex, fail **JobPanic) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			stack := debug.Stack()
 			mu.Lock()
-			if *at < 0 || i < *at {
-				*at = i
-				*val = r
+			if *fail == nil || i < (*fail).Index {
+				*fail = &JobPanic{Index: i, Value: r, Stack: stack}
 			}
 			mu.Unlock()
 			ok = false

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -62,14 +63,72 @@ func TestMapPanicPropagatesLowestIndex(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic did not propagate")
 		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "boom") {
-			t.Fatalf("unexpected panic payload: %v", r)
+		jp, ok := r.(*JobPanic)
+		if !ok {
+			t.Fatalf("unexpected panic payload type %T: %v", r, r)
+		}
+		if jp.Value != "boom" {
+			t.Fatalf("panic value = %v, want boom", jp.Value)
+		}
+		if jp.Index%3 != 0 {
+			t.Fatalf("panic index = %d, want a multiple of 3", jp.Index)
+		}
+		if !strings.Contains(jp.Error(), "boom") {
+			t.Fatalf("Error() = %q", jp.Error())
 		}
 	}()
 	MapN(16, 4, func(i int) int {
 		if i%3 == 0 {
 			panic("boom")
+		}
+		return i
+	})
+}
+
+// sentinelError is a distinct error type for asserting panic values
+// survive the worker boundary with their identity intact.
+type sentinelError struct{ code int }
+
+func (e *sentinelError) Error() string { return "sentinel" }
+
+// TestMapPanicPreservesTypedValue is the regression for the flattening
+// bug: MapN used to re-raise panics through fmt.Sprintf, destroying typed
+// panic values. The original value — here a specific error instance —
+// must come back out of recover untouched, with the job index and the
+// worker's stack attached.
+func TestMapPanicPreservesTypedValue(t *testing.T) {
+	sentinel := &sentinelError{code: 42}
+	defer func() {
+		r := recover()
+		jp, ok := r.(*JobPanic)
+		if !ok {
+			t.Fatalf("unexpected panic payload type %T: %v", r, r)
+		}
+		if jp.Value != sentinel {
+			t.Fatalf("panic value %v is not the original sentinel instance", jp.Value)
+		}
+		if jp.Index != 5 {
+			t.Fatalf("panic index = %d, want 5", jp.Index)
+		}
+		if len(jp.Stack) == 0 || !strings.Contains(string(jp.Stack), "TestMapPanicPreservesTypedValue") {
+			t.Fatalf("worker stack not captured:\n%s", jp.Stack)
+		}
+		if !errors.Is(jp, sentinel) {
+			t.Fatal("errors.Is does not reach the wrapped sentinel")
+		}
+		var se *sentinelError
+		if !errors.As(jp, &se) || se.code != 42 {
+			t.Fatal("errors.As does not recover the typed value")
+		}
+		// Error() carries the worker stack so an uncaught re-raise prints
+		// the traceback that points at the bug.
+		if !strings.Contains(jp.Error(), "worker stack") {
+			t.Fatalf("Error() missing stack section: %q", jp.Error())
+		}
+	}()
+	MapN(8, 4, func(i int) int {
+		if i == 5 {
+			panic(sentinel)
 		}
 		return i
 	})

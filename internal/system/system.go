@@ -87,6 +87,19 @@ type Config struct {
 	Baseline xfer.BaselineConfig
 	Memcpy   xfer.MemcpyConfig
 	Design   Design
+	// Shards selects the event-engine execution mode. 0 (the default)
+	// runs the machine on the plain serial engine. >= 1 shards the event
+	// queue per DDR4 channel (sim.NewSharded): 1 executes everything
+	// serially — the determinism reference — while >= 2 runs conservative
+	// windows of channel-local events across that many worker goroutines.
+	// Sharded output is byte-identical across all shard counts >= 1 by
+	// construction; only wall-clock time changes. The plain engine agrees
+	// with the sharded one everywhere except the tie order of events
+	// scheduled at identical timestamps from identical instants, where
+	// each engine uses its own (equally valid, bit-stable) canonical
+	// order; the golden command streams and replay metrics are pinned
+	// identical across both by the cross-shard regression tests.
+	Shards int
 }
 
 // DefaultConfig is the Table I machine with the chosen design point.
@@ -157,6 +170,9 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	eng := sim.New()
+	if cfg.Shards >= 1 {
+		eng = sim.NewSharded(cfg.Shards)
+	}
 	ms, err := memsys.New(eng, cfg.Mem)
 	if err != nil {
 		return nil, err
@@ -310,12 +326,15 @@ func (s *System) RunReplay(recs []trace.Record, cfg trace.ReplayConfig) (trace.R
 // drain runs remaining completion events (posted writes, refreshes in
 // flight) without advancing past quiescence. With live threads (for
 // example contenders) the memory system never goes idle, so draining is
-// skipped — their traffic keeps flowing on the next run anyway.
+// skipped — their traffic keeps flowing on the next run anyway. The
+// condition reads channel queue state, which shard-local events mutate,
+// so the drain steps serially: the stop point is then the same event at
+// every shard count (windows would batch past it).
 func (s *System) drain() {
 	if s.CPU.Runnable() > 0 {
 		return
 	}
-	s.Eng.RunWhile(func() bool { return !s.Mem.Idle() })
+	s.Eng.RunWhileSerial(func() bool { return !s.Mem.Idle() })
 }
 
 // Contenders launches n co-located contender threads built by mk and

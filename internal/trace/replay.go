@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/clock"
 	"repro/internal/mem"
@@ -37,6 +38,74 @@ func (c ReplayConfig) Validate() error {
 	return nil
 }
 
+// LatencyBuckets is the fixed bucket count of LatencyHist: one bucket
+// per power of two of picoseconds, which spans every latency a simulated
+// memory system can produce (2^63 ps is ~107 days).
+const LatencyBuckets = 64
+
+// LatencyHist is a deterministic fixed-bucket latency histogram: bucket
+// i counts samples whose picosecond value has bit length i, i.e. lies in
+// [2^(i-1), 2^i). Power-of-two buckets keep the array small and the
+// quantiles' resolution proportional (~2x) at every scale, and the whole
+// histogram is a value type — merging into Result needs no allocation
+// and results compare with ==.
+type LatencyHist struct {
+	Counts [LatencyBuckets]uint64
+	N      uint64
+}
+
+// Observe records one latency sample. Negative samples cannot occur in a
+// monotonic engine and are clamped to bucket zero defensively.
+func (h *LatencyHist) Observe(lat clock.Picos) {
+	if lat < 0 {
+		lat = 0
+	}
+	b := bits.Len64(uint64(lat))
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	h.Counts[b]++
+	h.N++
+}
+
+// Quantile reports a deterministic upper bound for the q-quantile
+// (0 < q <= 1): the exclusive upper edge of the bucket holding the
+// ceil(q*N)-th smallest sample. Zero when the histogram is empty.
+func (h *LatencyHist) Quantile(q float64) clock.Picos {
+	if h.N == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.N))
+	if float64(rank) < q*float64(h.N) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		if seen += c; seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			if i == LatencyBuckets-1 {
+				break // top bucket: upper edge saturates below
+			}
+			return clock.Picos(1) << uint(i)
+		}
+	}
+	return clock.Never
+}
+
+// P50 is the median's bucket upper bound.
+func (h *LatencyHist) P50() clock.Picos { return h.Quantile(0.50) }
+
+// P95 is the 95th percentile's bucket upper bound.
+func (h *LatencyHist) P95() clock.Picos { return h.Quantile(0.95) }
+
+// P99 is the 99th percentile's bucket upper bound.
+func (h *LatencyHist) P99() clock.Picos { return h.Quantile(0.99) }
+
 // Result aggregates one replay run. All counters are deterministic
 // functions of (trace, machine configuration, replay configuration).
 type Result struct {
@@ -52,6 +121,10 @@ type Result struct {
 	// LatencySum accumulates issue-to-completion time over all
 	// requests; AvgLatency reports the mean.
 	LatencySum clock.Picos
+
+	// Latency buckets every per-request issue-to-completion time, so
+	// replays report tail percentiles (P50/P95/P99), not just the mean.
+	Latency LatencyHist
 
 	// Retries counts TryEnqueue rejections (backpressure events).
 	Retries uint64
@@ -214,6 +287,7 @@ func (rp *Replayer) complete(s *slot, now clock.Picos) {
 	rp.inFlight--
 	rp.res.Completed++
 	rp.res.LatencySum += now - s.issued
+	rp.res.Latency.Observe(now - s.issued)
 	rp.free = append(rp.free, s)
 	if rp.ri < len(rp.recs) {
 		if !rp.issueEv.Scheduled() && !rp.waiting {

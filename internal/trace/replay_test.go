@@ -202,3 +202,76 @@ func TestReplayDeterministic(t *testing.T) {
 		t.Errorf("reruns differ:\n%+v\n%+v", a, b)
 	}
 }
+
+// TestLatencyHistBuckets pins the bucketing rule (power-of-two buckets by
+// bit length) and the deterministic quantile bounds.
+func TestLatencyHistBuckets(t *testing.T) {
+	var h LatencyHist
+	h.Observe(0) // bucket 0
+	h.Observe(1) // [1,2) -> bucket 1
+	h.Observe(5) // [4,8) -> bucket 3
+	h.Observe(7)
+	if h.N != 4 {
+		t.Fatalf("N = %d, want 4", h.N)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[3] != 2 {
+		t.Fatalf("counts = %v", h.Counts[:5])
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Errorf("q25 = %v, want 0", got)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("q50 = %v, want 2", got)
+	}
+	if got := h.Quantile(1.0); got != 8 {
+		t.Errorf("q100 = %v, want 8", got)
+	}
+	var empty LatencyHist
+	if empty.P50() != 0 || empty.P95() != 0 || empty.P99() != 0 {
+		t.Error("empty histogram quantiles must be 0")
+	}
+}
+
+// TestLatencyHistQuantileBounds checks the quantile is an upper bound
+// that tightens to the true value's power-of-two bracket.
+func TestLatencyHistQuantileBounds(t *testing.T) {
+	var h LatencyHist
+	for i := 1; i <= 100; i++ {
+		h.Observe(clock.Picos(i) * 100) // 100..10000 ps
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := h.Quantile(q)
+		exact := clock.Picos(q*100) * 100
+		if got < exact {
+			t.Errorf("q%.0f = %v below the exact value %v", q*100, got, exact)
+		}
+		if got > 2*exact {
+			t.Errorf("q%.0f = %v looser than 2x the exact value %v", q*100, got, exact)
+		}
+	}
+}
+
+// TestReplayLatencyHistogram checks the replayer populates the histogram
+// consistently with the scalar latency counters: a contention-free run
+// has every sample equal to the service latency, so every percentile
+// lands in that sample's bucket.
+func TestReplayLatencyHistogram(t *testing.T) {
+	const gap = 10 * clock.Nanosecond
+	const lat = 3 * clock.Nanosecond
+	recs := []Record{
+		{TSC: 0, Kind: KindRead, Addr: 0, Bytes: 64},
+		{TSC: gap, Kind: KindWrite, Addr: 64, Bytes: 64},
+		{TSC: 2 * gap, Kind: KindRead, Addr: 4096, Bytes: 64},
+	}
+	res, _ := runReplay(t, recs, DefaultReplayConfig(), lat, 64)
+	if res.Latency.N != res.Completed {
+		t.Fatalf("histogram saw %d samples, completed %d", res.Latency.N, res.Completed)
+	}
+	p50, p99 := res.Latency.P50(), res.Latency.P99()
+	if p50 != p99 {
+		t.Errorf("uniform latencies but p50 %v != p99 %v", p50, p99)
+	}
+	if p50 < lat || p50 > 2*lat {
+		t.Errorf("p50 bound %v outside (%v, %v]", p50, lat, 2*lat)
+	}
+}

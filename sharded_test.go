@@ -1,0 +1,173 @@
+// Cross-shard invariant tests: a sharded machine must be indistinguishable
+// from a serial one in everything but wall-clock time. The DDR4 channels
+// only interact with the rest of the machine at request enqueue/complete
+// boundaries, and the sharded engine fires every such crossing serially at
+// its frontier, so the command stream each channel issues — and every
+// metric derived from it — must be byte-identical across shard counts.
+package pimmmu_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/mem"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// shardCounts is the shard axis every invariant is checked across: the
+// plain serial engine (0), the sharded queue executed serially (1), and
+// two- and four-worker sharded execution. Shard counts >= 1 are identical
+// by construction; including 0 additionally pins that the sharded engine
+// reproduces the plain engine bit for bit on these workloads.
+var shardCounts = []int{0, 1, 2, 4}
+
+// shardedCounts is the axis for workloads where the plain engine's
+// same-instant tie order differs benignly from the sharded canonical
+// order (see system.Config.Shards); the serial reference is one shard.
+var shardedCounts = []int{1, 2, 4}
+
+// TestShardedCommandStreamIdentical pins the tentpole's hard requirement:
+// the full per-channel DDR4 command stream of a transfer (the golden-test
+// rendering) is byte-identical between the serial engine and sharded
+// engines at 2 and 4 shards, for both the software-baseline and the
+// PIM-MMU design.
+func TestShardedCommandStreamIdentical(t *testing.T) {
+	for _, d := range []system.Design{system.Base, system.PIMMMU} {
+		want := commandStream(d, 0)
+		for _, shards := range shardCounts[1:] {
+			if got := commandStream(d, shards); got != want {
+				t.Errorf("%v: command stream diverged at %d shards\n--- serial ---\n%s--- %d shards ---\n%s",
+					d, shards, want, shards, got)
+			}
+		}
+	}
+}
+
+// TestShardedReplayResultIdentical replays one synthetic trace on machines
+// at every shard count and requires the full trace.Result — counts, bytes,
+// timestamps, latency sum and histogram, backpressure metrics — to match
+// field for field.
+func TestShardedReplayResultIdentical(t *testing.T) {
+	gen := trace.DefaultGenConfig()
+	gen.Records = 1 << 11
+	gen.FootprintLines = 1 << 14
+	results := make([]trace.Result, len(shardCounts))
+	for i, shards := range shardCounts {
+		cfg := system.DefaultConfig(system.PIMMMU)
+		cfg.Shards = shards
+		s := system.MustNew(cfg)
+		g := gen
+		g.Base = s.Alloc(g.FootprintBytes(trace.PatternMixed))
+		recs := trace.MustGenerate(trace.PatternMixed, g)
+		r, err := s.RunReplay(recs, trace.DefaultReplayConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = r
+	}
+	for i, shards := range shardCounts[1:] {
+		if !reflect.DeepEqual(results[i+1], results[0]) {
+			t.Errorf("trace.Result diverged at %d shards:\nserial: %+v\nsharded: %+v",
+				shards, results[0], results[i+1])
+		}
+	}
+}
+
+// TestShardedTransferMetricsIdentical runs a mid-size DCE transfer at
+// every shard count and compares the transfer result plus the aggregate
+// channel statistics on both device sets.
+func TestShardedTransferMetricsIdentical(t *testing.T) {
+	type snapshot struct {
+		res                  system.XferResult
+		dramRead, dramWrite  uint64
+		pimRead, pimWrite    uint64
+		dramCAS, pimCAS      uint64
+		dramActs, pimActs    uint64
+		fired                uint64
+		hitQFullRetries      uint64
+		pimChannelRowHits    []uint64
+		pimChannelQueueFulls []uint64
+	}
+	run := func(shards int) snapshot {
+		cfg := system.DefaultConfig(system.PIMMMU)
+		cfg.Shards = shards
+		s := system.MustNew(cfg)
+		per := (1 << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
+		res := s.RunTransfer(s.TransferOp(0, s.Cfg.PIM.NumCores(), per))
+		ds, ps := s.Mem.DRAM.Stats(), s.Mem.PIM.Stats()
+		snap := snapshot{
+			res:      res,
+			dramRead: ds.BytesRead(), dramWrite: ds.BytesWritten(),
+			pimRead: ps.BytesRead(), pimWrite: ps.BytesWritten(),
+			dramCAS: ds.CAS(), pimCAS: ps.CAS(),
+			dramActs: ds.Acts(), pimActs: ps.Acts(),
+			fired: s.Eng.Fired(),
+		}
+		for _, c := range ps.Channels {
+			snap.hitQFullRetries += c.QueueFull
+			snap.pimChannelRowHits = append(snap.pimChannelRowHits, c.RowHits)
+			snap.pimChannelQueueFulls = append(snap.pimChannelQueueFulls, c.QueueFull)
+		}
+		return snap
+	}
+	want := run(0)
+	for _, shards := range shardCounts[1:] {
+		if got := run(shards); !reflect.DeepEqual(got, want) {
+			t.Errorf("transfer metrics diverged at %d shards:\nserial:  %+v\nsharded: %+v",
+				shards, want, got)
+		}
+	}
+}
+
+// TestShardedExperimentOutputIdentical renders one full harness experiment
+// (the replay table: six workloads x two designs, through the sweep
+// machinery) serially and sharded; the printed artifact must not change.
+func TestShardedExperimentOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment render in -short mode")
+	}
+	render := func(shards int) string {
+		harness.SetShards(shards)
+		defer harness.SetShards(0)
+		var b bytes.Buffer
+		harness.Fig8(&b, harness.Quick)
+		return b.String()
+	}
+	want := render(1)
+	for _, shards := range shardedCounts[1:] {
+		if got := render(shards); got != want {
+			t.Errorf("fig8 output diverged at %d shards\n--- serial ---\n%s--- %d shards ---\n%s",
+				shards, want, shards, got)
+		}
+	}
+}
+
+// TestShardedPIMRegionReplay exercises the non-cacheable PIM-region path
+// (no LLC in front of the channels) across shard counts.
+func TestShardedPIMRegionReplay(t *testing.T) {
+	gen := trace.DefaultGenConfig()
+	gen.Records = 1 << 10
+	gen.FootprintLines = 1 << 12
+	gen.Base = mem.PIMBase
+	gen.WritePercent = 100
+	recs := trace.MustGenerate(trace.PatternMixed, gen)
+	var want trace.Result
+	for i, shards := range shardCounts {
+		cfg := system.DefaultConfig(system.Base)
+		cfg.Shards = shards
+		s := system.MustNew(cfg)
+		r, err := s.RunReplay(recs, trace.DefaultReplayConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = r
+		} else if !reflect.DeepEqual(r, want) {
+			t.Errorf("PIM-region replay diverged at %d shards:\nserial: %+v\nsharded: %+v",
+				shards, want, r)
+		}
+	}
+}
