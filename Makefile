@@ -27,9 +27,10 @@ test-slow:
 	$(GO) test -tags slow ./...
 
 # One iteration of every paper-figure benchmark plus the scheduler
-# micro-benchmarks and the sharded-engine multi-channel speedup
-# comparison, captured as test2json streams for trend tracking.
+# micro-benchmarks and the sharded-engine speedup comparisons (the
+# multi-channel posted-write stream and the multi-contender core-lane
+# workload), captured as test2json streams for trend tracking.
 bench:
 	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x . > BENCH_figs.json
-	$(GO) test -json -run '^$$' -bench=Engine -benchmem ./internal/sim ./internal/dram > BENCH_engine.json
+	$(GO) test -json -run '^$$' -bench=Engine -benchmem ./internal/sim ./internal/dram ./internal/system > BENCH_engine.json
 	@echo "wrote BENCH_figs.json and BENCH_engine.json"

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	pimmu-bench [-full] [-workers N] [-shards N] <experiment>|all|list
+//	pimmu-bench [-full] [-workers N] [-shards N] [-core-lanes N] [-lane-stats] <experiment>|all|list
 //
 // Experiments: table1 fig4 fig6 fig8 fig13a fig13b fig14 fig15a fig15b
 // fig16 area headline. Quick sizes are the default; -full uses the
@@ -11,11 +11,15 @@
 // simulations across CPU cores; -workers caps the parallelism (1 forces
 // the serial path, which produces byte-identical output). -shards
 // additionally parallelizes inside each simulated machine by running its
-// DDR4 channels' event shards in conservative windows — the lever for
-// the single-machine -full renders. Output is byte-identical across all
-// -shards counts >= 1 (0, the default serial engine, can break
+// lane topology — one event lane per DDR4 channel, plus -core-lanes
+// per-core host lanes with the LLC as the crossing boundary (the lever
+// for the contender-heavy fig13 sweeps) — in conservative windows.
+// Output is byte-identical across all -shards counts >= 1 and every
+// -core-lanes count (0, the default serial engine, can break
 // same-instant event ties differently on CPU-streaming workloads; see
-// system.Config.Shards).
+// system.Config.Shards). -lane-stats prints each machine's per-lane
+// fired/window/serial/mailbox counters to stderr after its run, so
+// frontier serialization is visible without a profiler.
 package main
 
 import (
@@ -26,16 +30,31 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/sweep"
+	"repro/internal/system"
 )
 
 func main() {
 	full := flag.Bool("full", false, "use the paper's full experiment sizes")
 	workers := flag.Int("workers", 0, "parallel simulations per sweep (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
+	coreLanes := flag.Int("core-lanes", 0, "per-core event lanes per machine (requires -shards >= 1)")
+	laneStats := flag.Bool("lane-stats", false, "print per-lane engine counters to stderr after each machine's run")
 	flag.Usage = usage
 	flag.Parse()
 	sweep.SetWorkers(*workers)
-	harness.SetShards(*shards)
+	sh, cl, warns, err := system.NormalizeLaneFlags(*shards, *coreLanes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
+		os.Exit(2)
+	}
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "pimmu-bench: warning: %s\n", w)
+	}
+	harness.SetShards(sh)
+	harness.SetCoreLanes(cl)
+	if *laneStats {
+		harness.SetLaneStats(os.Stderr)
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -73,6 +92,6 @@ func runOne(e harness.Experiment, sc harness.Scale) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] [-shards N] <experiment>|all|list\n")
+	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] [-shards N] [-core-lanes N] [-lane-stats] <experiment>|all|list\n")
 	flag.PrintDefaults()
 }

@@ -6,7 +6,7 @@
 //	pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
 //	pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
 //	pimmu-replay inspect [-n N] FILE
-//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-inflight N] [-noncacheable] FILE
+//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-core-lanes N] [-inflight N] [-noncacheable] FILE
 //
 // record captures every request a transfer presents to the memory port
 // of the chosen design; gen synthesizes one of the built-in application
@@ -15,10 +15,12 @@
 // fresh machine (or, with -design all, into every design point in
 // parallel) at its recorded inter-arrival times and reports bandwidth
 // and latency. Replays of the same trace are bit-identical across runs,
-// across -workers counts, and across -shards counts >= 1 (-shards runs
-// each machine's DDR4 channel event shards in conservative parallel
-// windows; 0, the default serial engine, can break same-instant event
-// ties differently on some workloads — see system.Config.Shards).
+// across -workers counts, across -shards counts >= 1 and across every
+// -core-lanes count (-shards runs each machine's lane topology — one
+// event lane per DDR4 channel plus -core-lanes per-core host lanes — in
+// conservative parallel windows; 0, the default serial engine, can break
+// same-instant event ties differently on some workloads — see
+// system.Config.Shards).
 package main
 
 import (
@@ -67,7 +69,7 @@ func usage() {
   pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
   pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
   pimmu-replay inspect [-n N] FILE
-  pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-inflight N] [-noncacheable] FILE
+  pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-core-lanes N] [-inflight N] [-noncacheable] FILE
 `)
 }
 
@@ -188,15 +190,23 @@ func cmdReplay(args []string) error {
 	designFlag := fs.String("design", "pim-mmu", "design point, or all")
 	workers := fs.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
 	shards := fs.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
+	coreLanes := fs.Int("core-lanes", 0, "per-core event lanes per machine (requires -shards >= 1)")
 	inflight := fs.Int("inflight", 64, "max outstanding line requests")
 	noncache := fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region records")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay: want exactly one trace file")
 	}
-	recs, err := trace.ReadFile(fs.Arg(0))
+	sh, cl, warns, err := system.NormalizeLaneFlags(*shards, *coreLanes)
 	if err != nil {
 		return err
+	}
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "pimmu-replay: warning: %s\n", w)
+	}
+	recs, rerr := trace.ReadFile(fs.Arg(0))
+	if rerr != nil {
+		return rerr
 	}
 	cfg := trace.DefaultReplayConfig()
 	cfg.MaxInFlight = *inflight
@@ -206,7 +216,7 @@ func cmdReplay(args []string) error {
 	if *designFlag == "all" {
 		designs := system.Designs()
 		results := sweep.Map(len(designs), func(i int) trace.Result {
-			return replayOn(designs[i], *shards, recs, cfg)
+			return replayOn(designs[i], sh, cl, recs, cfg)
 		})
 		fmt.Printf("%d records, max %d in flight\n\n", len(recs), cfg.MaxInFlight)
 		fmt.Printf("%-12s %12s %12s %18s %12s %12s\n",
@@ -226,7 +236,7 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := replayOn(design, *shards, recs, cfg)
+	r := replayOn(design, sh, cl, recs, cfg)
 	fmt.Printf("design     %v\n", design)
 	fmt.Printf("records    %d (%d line requests)\n", len(recs), r.Issued)
 	fmt.Printf("bytes      %d read, %d written\n", r.BytesRead, r.BytesWritten)
@@ -239,10 +249,11 @@ func cmdReplay(args []string) error {
 }
 
 // replayOn replays recs on a fresh machine of the given design, with the
-// event queue sharded per channel when shards >= 1.
-func replayOn(d system.Design, shards int, recs []trace.Record, cfg trace.ReplayConfig) trace.Result {
+// event queue sharded over the lane topology when shards >= 1.
+func replayOn(d system.Design, shards, coreLanes int, recs []trace.Record, cfg trace.ReplayConfig) trace.Result {
 	scfg := system.DefaultConfig(d)
 	scfg.Shards = shards
+	scfg.CoreLanes = coreLanes
 	s := system.MustNew(scfg)
 	r, err := s.RunReplay(recs, cfg)
 	if err != nil {

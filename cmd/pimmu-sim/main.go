@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N]
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N] [-core-lanes N]
 //
 // -workers parallelizes across independent design-point machines;
-// -shards parallelizes inside each machine, running its DDR4 channels'
-// event shards in conservative windows (0 = plain serial engine, 1 =
-// sharded queue executed serially, >= 2 = that many window workers).
-// Output is independent of -workers, and of -shards across all counts
-// >= 1 (0 can break same-instant event ties differently on some
-// workloads; see system.Config.Shards).
+// -shards parallelizes inside each machine, running its lane topology —
+// one event lane per DDR4 channel plus -core-lanes per-core host lanes
+// with the LLC as the crossing boundary — in conservative windows (0 =
+// plain serial engine, 1 = sharded queue executed serially, >= 2 = that
+// many window workers). Output is independent of -workers, of -shards
+// across all counts >= 1, and of -core-lanes across every count (0 can
+// break same-instant event ties differently on some workloads; see
+// system.Config.Shards).
 package main
 
 import (
@@ -33,9 +35,19 @@ func main() {
 	dirFlag := flag.String("dir", "to", "direction: to (DRAM->PIM) or from (PIM->DRAM)")
 	workers := flag.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
+	coreLanes := flag.Int("core-lanes", 0, "per-core event lanes per machine (requires -shards >= 1)")
 	flag.Parse()
 	sweep.SetWorkers(*workers)
-	engineShards = *shards
+	var warns []string
+	var err error
+	engineShards, engineCoreLanes, warns, err = system.NormalizeLaneFlags(*shards, *coreLanes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
+		os.Exit(2)
+	}
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: warning: %s\n", w)
+	}
 
 	dir := core.DRAMToPIM
 	if *dirFlag == "from" {
@@ -58,8 +70,9 @@ func main() {
 	runOne(design, dir, *mb)
 }
 
-// engineShards is the -shards selection applied to every machine built.
-var engineShards int
+// engineShards/engineCoreLanes are the -shards/-core-lanes selections
+// applied to every machine built.
+var engineShards, engineCoreLanes int
 
 // measurement is one design point's transfer outcome.
 type measurement struct {
@@ -72,6 +85,7 @@ type measurement struct {
 func measure(design system.Design, dir core.Direction, mb uint64) measurement {
 	cfg := system.DefaultConfig(design)
 	cfg.Shards = engineShards
+	cfg.CoreLanes = engineCoreLanes
 	s := system.MustNew(cfg)
 	per := (mb << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
 	if per < 64 {

@@ -87,3 +87,41 @@ func TestEveryExperimentShardCountIdentical(t *testing.T) {
 		})
 	}
 }
+
+// TestEveryExperimentCoreLaneCountIdentical is the core-lane counterpart:
+// with per-core host lanes added to the topology (the LLC as the crossing
+// boundary), every simulation-backed experiment — including the
+// contender-heavy fig13 sweeps the lanes exist for — must render
+// byte-identical output at core-lane counts 0, 2, 4 and 8, serially and
+// under parallel windows.
+func TestEveryExperimentCoreLaneCountIdentical(t *testing.T) {
+	for _, e := range harness.All() {
+		if staticExperiments[e.Name] {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			defer harness.SetShards(0)
+			defer harness.SetCoreLanes(0)
+			render := func(shards, coreLanes int) []byte {
+				harness.SetShards(shards)
+				harness.SetCoreLanes(coreLanes)
+				var buf bytes.Buffer
+				e.Run(&buf, harness.Quick)
+				return buf.Bytes()
+			}
+			serial := render(1, 0)
+			if len(serial) == 0 {
+				t.Fatal("experiment rendered nothing")
+			}
+			for _, p := range []struct{ shards, coreLanes int }{
+				{1, 2}, {2, 4}, {4, 8},
+			} {
+				if got := render(p.shards, p.coreLanes); !bytes.Equal(serial, got) {
+					t.Errorf("output differs at shards=%d core-lanes=%d\n--- reference ---\n%s--- got ---\n%s",
+						p.shards, p.coreLanes, serial, got)
+				}
+			}
+		})
+	}
+}

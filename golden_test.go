@@ -17,7 +17,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/contend"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/sweep"
 	"repro/internal/system"
@@ -41,11 +43,13 @@ const goldenHead = 48
 
 // commandStream runs a 128 KiB DRAM->PIM transfer on the design with
 // every PIM channel observed and renders the pimmu-trace-equivalent
-// view of it. shards selects the event-engine mode (<= 1 serial, >= 2
-// sharded); the rendering must not depend on it.
-func commandStream(d system.Design, shards int) string {
+// view of it. shards selects the event-engine mode (0 plain, >= 1
+// sharded) and coreLanes the per-core lane count; the rendering must
+// not depend on either.
+func commandStream(d system.Design, shards, coreLanes int) string {
 	cfg := system.DefaultConfig(d)
 	cfg.Shards = shards
+	cfg.CoreLanes = coreLanes
 	s := system.MustNew(cfg)
 	chans := cfg.Mem.PIM.Geometry.Channels
 	recs := make([]*cmdRecorder, chans)
@@ -82,6 +86,108 @@ func commandStream(d system.Design, shards int) string {
 	return b.String()
 }
 
+// contendedStream is the Fig. 13-style golden workload: a 128 KiB
+// software-baseline DRAM->PIM transfer co-located with four spin
+// contenders and two medium-intensity memory hogs, so the command
+// stream pins CPU-thread scheduling, contender interference, and the
+// write path together — the exact traffic core-lane refactors touch.
+// The rendering must not depend on shards or coreLanes.
+func contendedStream(shards, coreLanes int) string {
+	cfg := system.DefaultConfig(system.Base)
+	cfg.Shards = shards
+	cfg.CoreLanes = coreLanes
+	s := system.MustNew(cfg)
+
+	chans := cfg.Mem.PIM.Geometry.Channels
+	pimRecs := make([]*cmdRecorder, chans)
+	for i := range pimRecs {
+		pimRecs[i] = &cmdRecorder{counts: map[dram.Cmd]int{}}
+		s.Mem.PIM.Channel(i).Observe(pimRecs[i])
+	}
+	dramRec := &cmdRecorder{counts: map[dram.Cmd]int{}}
+	chk := dram.NewChecker(cfg.Mem.DRAM)
+	s.Mem.DRAM.Channel(0).Observe(observerPair{dramRec, chk})
+
+	const (
+		nSpin   = 4
+		nHog    = 2
+		wset    = 16 << 10
+		hogFoot = 4 << 20
+	)
+	spinBase := s.Alloc(nSpin * wset)
+	hogBase := s.Alloc(nHog * hogFoot)
+	st := s.Contenders(nSpin, func(i int, st *contend.Stopper) cpu.Program {
+		return contend.Spin(st, spinBase+uint64(i)*wset)
+	})
+	// The hogs share the spin contenders' stopper so one Stop quiesces
+	// everything.
+	for i := 0; i < nHog; i++ {
+		base := hogBase + uint64(i)*hogFoot
+		s.CPU.Spawn(fmt.Sprintf("hog-%d", i),
+			contend.MemoryHog(st, base, hogFoot, contend.Medium), nil)
+	}
+
+	per := (128 << 10) / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	if per < 64 {
+		per = 64
+	}
+	res := s.RunTransfer(s.TransferOp(core.DRAMToPIM, s.Cfg.PIM.NumCores(), per))
+	st.Stop()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %v contended DRAM->PIM %d bytes %d ps (%d spin + %d hog)\n",
+		system.Base, res.Bytes, res.Duration, nSpin, nHog)
+	for i, r := range pimRecs {
+		fmt.Fprintf(&b, "pim[%d] n=%d ACT=%d PRE=%d RD=%d WR=%d REF=%d\n",
+			i, len(r.events),
+			r.counts[dram.CmdACT], r.counts[dram.CmdPRE],
+			r.counts[dram.CmdRD], r.counts[dram.CmdWR], r.counts[dram.CmdREF])
+	}
+	fmt.Fprintf(&b, "dram[0] n=%d ACT=%d PRE=%d RD=%d WR=%d REF=%d\n",
+		len(dramRec.events),
+		dramRec.counts[dram.CmdACT], dramRec.counts[dram.CmdPRE],
+		dramRec.counts[dram.CmdRD], dramRec.counts[dram.CmdWR], dramRec.counts[dram.CmdREF])
+	fmt.Fprintf(&b, "protocol violations=%d\n", len(chk.Violations()))
+	head := goldenHead
+	if head > len(dramRec.events) {
+		head = len(dramRec.events)
+	}
+	fmt.Fprintf(&b, "-- dram[0] head (%d) --\n", head)
+	for _, e := range dramRec.events[:head] {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	return b.String()
+}
+
+// TestGoldenContendedStream pins the contender-heavy command stream
+// against its golden file on the default (plain) engine, with the same
+// worker-count stability gate as the transfer goldens; the lane-topology
+// invariants in sharded_test.go pin the sharded renderings bit-equal to
+// this one.
+func TestGoldenContendedStream(t *testing.T) {
+	serial := sweep.MapN(2, 1, func(int) string { return contendedStream(0, 0) })
+	parallel := sweep.MapN(2, 4, func(int) string { return contendedStream(0, 0) })
+	if serial[0] != serial[1] || serial[0] != parallel[0] || serial[0] != parallel[1] {
+		t.Fatal("contended command stream not stable across reruns/worker counts")
+	}
+	path := filepath.Join("testdata", "cmdstream_contended.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(serial[0]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update .` to create)", err)
+	}
+	if string(want) != serial[0] {
+		t.Errorf("contended command stream diverged from %s\n--- got ---\n%s--- want ---\n%s",
+			path, serial[0], want)
+	}
+}
+
 // observerPair fans one channel's commands to two observers.
 type observerPair [2]dram.Observer
 
@@ -106,8 +212,8 @@ func TestGoldenCommandStream(t *testing.T) {
 	// count must not matter.
 	// Goldens pin the default (plain, Shards=0) engine; sharded_test.go
 	// separately pins sharded renderings bit-equal to these.
-	serial := sweep.MapN(len(designs), 1, func(i int) string { return commandStream(designs[i], 0) })
-	parallel := sweep.MapN(len(designs), 4, func(i int) string { return commandStream(designs[i], 0) })
+	serial := sweep.MapN(len(designs), 1, func(i int) string { return commandStream(designs[i], 0, 0) })
+	parallel := sweep.MapN(len(designs), 4, func(i int) string { return commandStream(designs[i], 0, 0) })
 	for i, d := range designs {
 		if serial[i] != parallel[i] {
 			t.Fatalf("%v: command stream differs between worker counts", d)

@@ -9,6 +9,15 @@
 //     memory instructions to compute instructions ("low" to "very high"
 //     intensity), streaming over a footprint far larger than the LLC. It
 //     competes for DRAM bandwidth, degrading both designs (Fig. 13b).
+//
+// Contenders are plain cpu.Programs, so on a machine with per-core host
+// lanes (system.Config.CoreLanes) each contender rides the lane of
+// whichever core the OS scheduler dispatches it on: its compute-span
+// chains execute lane-locally inside conservative windows, and its
+// memory operations cross at the LLC boundary. The Stopper flag is only
+// written from serially-fired events and only read through the
+// engine-independent one-op program peek (see cpu.Program), so stopping
+// is byte-identical across every lane topology.
 package contend
 
 import (
@@ -31,10 +40,16 @@ func (s *Stopper) Stopped() bool { return s.stopped }
 
 // Spin returns a compute-bound contender program: long compute spans with
 // an occasional load inside a 16 KB working set (always an LLC hit after
-// warm-up).
+// warm-up). The span is emitted as spinChunks shorter compute operations
+// rather than one monolithic op — a spin loop is iterations, not one
+// straight-line burst — which is also what lets the chain execute
+// lane-locally on a per-core lane: every chunk is far longer than the
+// core lanes' LLC crossing edge, so consecutive chunks window together.
+// Total compute per load is unchanged (spanCycles).
 func Spin(st *Stopper, workingSetBase uint64) cpu.Program {
 	const (
 		spanCycles = 4096
+		spinChunks = 4
 		wsetBytes  = 16 << 10
 	)
 	i := 0
@@ -43,9 +58,9 @@ func Spin(st *Stopper, workingSetBase uint64) cpu.Program {
 		if st.stopped {
 			return cpu.Op{}, false
 		}
-		if phase == 0 {
-			phase = 1
-			return cpu.Op{Kind: cpu.OpCompute, Cycles: spanCycles}, true
+		if phase < spinChunks {
+			phase++
+			return cpu.Op{Kind: cpu.OpCompute, Cycles: spanCycles / spinChunks}, true
 		}
 		phase = 0
 		addr := workingSetBase + uint64(i%(wsetBytes/mem.LineBytes))*mem.LineBytes

@@ -10,6 +10,31 @@
 // cacheable misses (line-fill buffers) and of outstanding non-cacheable
 // stores (write-combining buffers) — so per-thread bandwidth follows
 // Little's law just as on real hardware.
+//
+// # Sharding contract
+//
+// On a topology-sharded engine (system.Config.CoreLanes >= 1) every core
+// schedules its standing execution event on its own lane (topology name
+// "core:<i>"); cores only interact with the rest of the machine through
+// the memory system and the OS scheduler, so the lane's crossing edge is
+// the LLC. Classification happens at schedule time, one program
+// operation ahead:
+//
+//   - a compute span whose following operation is another compute span at
+//     least Config.LaneLocalFloor long ends in a lane-local event — a
+//     computing core cannot touch shared memory state sooner than the
+//     floor, which system derives from min(LLC hit latency, scheduler
+//     quantum), the same derivation the lane's topology edge uses;
+//   - every other execution step (memory issue, barrier, thread exit,
+//     dispatch, preemption wake) is a crossing and fires serially at the
+//     engine frontier, where touching the LLC, the channels, and the
+//     CPU-wide scheduler state is safe.
+//
+// The peek that classification requires pulls the next program operation
+// at span start rather than span end. The pull happens identically on
+// every engine (plain or sharded, any lane count), so the model's
+// behavior — including when a contender program observes its stop flag —
+// is byte-identical across lane topologies.
 package cpu
 
 import (
@@ -44,7 +69,11 @@ type Op struct {
 }
 
 // Program is a pull-based instruction stream. Next returns false when the
-// thread has finished.
+// thread has finished. The core pulls one operation ahead of execution
+// (it classifies the event ending a compute span by what follows the
+// span), so a program that reads external state in Next — a contender's
+// stop flag — observes it one operation early; the pull schedule is
+// engine-independent, so this costs determinism nothing.
 type Program interface {
 	Next() (Op, bool)
 }
@@ -68,6 +97,22 @@ type Config struct {
 	// Quantum is the OS scheduler's round-robin time slice (Section V:
 	// threads preempted every 1.5 ms).
 	Quantum clock.Picos
+	// Lanes is how many per-core event lanes the cores claim from a
+	// topology-sharded engine (core i attaches to lane "core:<i mod
+	// Lanes>"). 0 keeps every core on the host lane. Set by
+	// system.Config.CoreLanes.
+	Lanes int
+	// LaneLocalFloor is the minimum compute-span duration eligible for
+	// lane-local execution. It must be AT LEAST the core lanes' topology
+	// edge latency: a local span-end may schedule a crossing as close as
+	// the span it starts (>= the floor away), and the window algorithm
+	// trusts the edge latency as the minimum crossing distance — so a
+	// floor below it would let a window miss a crossing it should have
+	// serialized against. New enforces the bound by raising each laned
+	// core's effective floor to its lane's lookahead. 0 disables local
+	// execution (every core event crosses). Set by system alongside the
+	// topology.
+	LaneLocalFloor clock.Picos
 }
 
 // DefaultConfig is the Table I host processor.
@@ -92,6 +137,12 @@ func (c Config) Validate() error {
 	if c.Quantum <= 0 {
 		return fmt.Errorf("cpu: non-positive quantum")
 	}
+	if c.Lanes < 0 {
+		return fmt.Errorf("cpu: negative core lane count %d", c.Lanes)
+	}
+	if c.LaneLocalFloor < 0 {
+		return fmt.Errorf("cpu: negative lane-local floor %v", c.LaneLocalFloor)
+	}
 	return nil
 }
 
@@ -102,9 +153,16 @@ type Thread struct {
 
 	prog Program
 
-	// pending is an op that could not issue yet (resource or queue full).
-	pending *Op
-	haveOp  bool
+	// pending is the next program operation, pulled one ahead of
+	// execution (see Program); progEnded records that the program is
+	// exhausted.
+	pending   Op
+	haveOp    bool
+	progEnded bool
+
+	// resumeCycles is the unfinished remainder of a compute span the
+	// thread was preempted out of; it runs first at the next dispatch.
+	resumeCycles int64
 
 	loadsOut  int // in-flight cacheable loads / fills
 	storesOut int // in-flight non-cacheable stores
@@ -114,6 +172,10 @@ type Thread struct {
 	blocked bool  // waiting on a completion event
 	done    bool
 	onExit  func()
+
+	// loadDone/storeDone are the thread's standing completion callbacks,
+	// built once at spawn so the per-op issue path allocates nothing.
+	loadDone, storeDone func(clock.Picos)
 
 	// computeUntil marks the end of an in-progress compute span so that a
 	// preemption can carry the unfinished remainder over to the thread's
@@ -132,15 +194,20 @@ func (t *Thread) Done() bool { return t.done }
 
 // Core is one hardware context.
 type Core struct {
-	id     int
-	cpu    *CPU
-	thread *Thread
-	// kickEv is the core's standing execution-step event; resumeEv is its
-	// standing end-of-compute-span event. Both are rescheduled in place,
-	// so the per-op scheduling path performs no allocation.
-	kickEv   sim.Event
-	resumeEv sim.Event
-	resumeT  *Thread // thread the pending resumeEv belongs to
+	id    int
+	cpu   *CPU
+	sched sim.Scheduler // the core's event lane (the engine when not laned)
+	laned bool          // sched is a real lane (compute chains may run locally)
+	// localFloor is the effective lane-local classification floor:
+	// max(Config.LaneLocalFloor, the lane's lookahead), or 0 when local
+	// execution is disabled — the window algorithm's safety bound, see
+	// Config.LaneLocalFloor.
+	localFloor clock.Picos
+	thread     *Thread
+	// kickEv is the core's single standing execution event: dispatch,
+	// wake-ups, and compute-span ends all reschedule it in place, so the
+	// per-op scheduling path performs no allocation.
+	kickEv sim.Event
 	// busy tracks cumulative busy time for utilization accounting.
 	busy    clock.Picos
 	lastRun clock.Picos
@@ -156,24 +223,35 @@ type CPU struct {
 	dom clock.Domain
 	mem mem.Port
 
-	cores   []*Core
-	ready   []*Thread // runnable threads not on a core
-	nextID  int
-	alive   int // spawned minus exited
-	stopped bool
+	cores  []*Core
+	ready  []*Thread // runnable threads not on a core
+	nextID int
+	alive  int // spawned minus exited
 }
 
 // New builds the processor. The quantum ticker starts with the first
-// spawned thread and stops when every thread has exited.
+// spawned thread and stops when every thread has exited. With cfg.Lanes
+// >= 1 each core attaches to its topology lane "core:<i mod Lanes>";
+// cores whose lane the engine does not declare stay on the host lane.
 func New(eng *sim.Engine, cfg Config, port mem.Port) *CPU {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	c := &CPU{eng: eng, cfg: cfg, dom: clock.NewDomain(cfg.Clock), mem: port}
 	for i := 0; i < cfg.Cores; i++ {
-		core := &Core{id: i, cpu: c}
+		core := &Core{id: i, cpu: c, sched: eng}
+		if cfg.Lanes > 0 {
+			if l, ok := eng.Lane(fmt.Sprintf("core:%d", i%cfg.Lanes)); ok {
+				core.sched, core.laned = l, true
+				if cfg.LaneLocalFloor > 0 {
+					core.localFloor = cfg.LaneLocalFloor
+					if la := l.(*sim.Lane).Lookahead(); core.localFloor < la {
+						core.localFloor = la
+					}
+				}
+			}
+		}
 		core.kickEv.Init(sim.HandlerFunc(core.advance))
-		core.resumeEv.Init(sim.HandlerFunc(core.resume))
 		c.cores = append(c.cores, core)
 	}
 	return c
@@ -203,6 +281,8 @@ func (c *CPU) Runnable() int { return c.alive }
 // the program finishes.
 func (c *CPU) Spawn(name string, prog Program, onExit func()) *Thread {
 	t := &Thread{ID: c.nextID, Name: name, prog: prog, onExit: onExit}
+	t.loadDone = func(now clock.Picos) { t.complete(OpLoad) }
+	t.storeDone = func(now clock.Picos) { t.complete(OpStore) }
 	c.nextID++
 	if c.alive == 0 {
 		c.startQuantumTicker()
@@ -247,7 +327,9 @@ func (c *CPU) startQuantumTicker() {
 // rotate implements the OS's fairness-first round-robin policy: at every
 // quantum boundary all running threads move to the tail of the ready
 // queue and the head of the queue is dispatched. When there are no more
-// threads than cores this is a no-op reassignment.
+// threads than cores this is a no-op reassignment. rotate runs from a
+// host (ticker) event, so every lane is parked and touching thread state
+// owned by core lanes is safe.
 func (c *CPU) rotate() {
 	if len(c.ready) == 0 {
 		return // nobody waiting: current threads keep their cores
@@ -257,11 +339,10 @@ func (c *CPU) rotate() {
 		if core.thread != nil {
 			t := core.thread
 			core.accountBusy(now)
-			// Preserve the unfinished part of an in-progress compute span.
+			// Preserve the unfinished part of an in-progress compute span;
+			// the peeked pending operation stays peeked.
 			if t.computeUntil > now {
-				op := Op{Kind: OpCompute, Cycles: c.dom.CyclesCeil(t.computeUntil - now)}
-				t.pending = &op
-				t.haveOp = true
+				t.resumeCycles = c.dom.CyclesCeil(t.computeUntil - now)
 			}
 			t.computeUntil = 0
 			core.thread = nil
@@ -314,50 +395,73 @@ func (core *Core) BusyTime() clock.Picos {
 // Cores exposes the core array (read-only use).
 func (c *CPU) Cores() []*Core { return c.cores }
 
-// kick schedules the core's execution step if not already pending.
+// kick schedules the core's execution step now, pulling a pending
+// span-end event forward (and reclassifying it as a crossing) if one is
+// standing in the future. Only called from serial context: assignment,
+// completions, and queue-space wakes all run at the engine frontier.
 func (core *Core) kick() {
-	if core.kickEv.Scheduled() {
+	now := core.cpu.eng.Now()
+	if core.kickEv.Scheduled() && core.kickEv.When() <= now {
+		// The standing event already fires at this very instant, but it
+		// may be classified lane-local (a span end that coincided with
+		// this wake — e.g. a quantum boundary that just swapped threads).
+		// The step must now run the thread's full execution loop, which
+		// can issue memory operations, so force it to the serial
+		// frontier. No-op when it is already a crossing.
+		core.sched.Promote(&core.kickEv)
 		return
 	}
-	core.cpu.eng.Schedule(&core.kickEv, core.cpu.eng.Now())
+	core.sched.Schedule(&core.kickEv, now)
 }
 
 // advance runs the scheduled thread until it blocks on a resource, starts
-// a compute span, or exits.
-func (core *Core) advance(clock.Picos) {
+// a compute span, or exits. It fires either at the serial frontier (a
+// crossing: it may issue memory operations and touch CPU-wide state) or
+// lane-locally inside a window, in which case the classification
+// invariant guarantees the pending operation is a compute span and the
+// only effect is starting it.
+func (core *Core) advance(now clock.Picos) {
 	t := core.thread
 	if t == nil {
-		return
+		return // stale span-end for a descheduled thread
 	}
 	cpu := core.cpu
-	if cpu.eng.Now() < t.computeUntil {
-		return // spurious wake during a compute span
+	if now < t.computeUntil {
+		// A wake pulled the standing event into the middle of a span;
+		// re-arm the span end (serial context, so a crossing is safe).
+		core.sched.Schedule(&core.kickEv, t.computeUntil)
+		return
 	}
 	t.computeUntil = 0
+	if t.resumeCycles > 0 {
+		cycles := t.resumeCycles
+		t.resumeCycles = 0
+		core.startSpan(t, now, cycles)
+		return
+	}
 	for {
 		if !t.haveOp {
+			if t.progEnded {
+				cpu.exit(core)
+				return
+			}
 			op, ok := t.prog.Next()
 			if !ok {
 				cpu.exit(core)
 				return
 			}
-			t.pending = &op
+			t.pending = op
 			t.haveOp = true
 		}
 		op := t.pending
 		switch op.Kind {
 		case OpCompute:
 			t.haveOp = false
-			if op.Cycles > 0 {
-				d := cpu.dom.Duration(op.Cycles)
-				t.computeUntil = cpu.eng.Now() + d
-				// Reschedule the standing resume event: a pending resume
-				// for a preempted previous occupant is dead anyway (it
-				// no-ops when the thread no longer owns the core).
-				core.resumeT = t
-				cpu.eng.ScheduleAfter(&core.resumeEv, d)
-				return
+			if op.Cycles <= 0 {
+				continue
 			}
+			core.startSpan(t, now, op.Cycles)
+			return
 		case OpBarrier:
 			if t.totalOut > 0 {
 				t.blocked = true
@@ -380,8 +484,10 @@ func (core *Core) advance(clock.Picos) {
 			}
 			if op.Kind == OpStore {
 				req.Kind = mem.Write
+				req.OnDone = t.storeDone
+			} else {
+				req.OnDone = t.loadDone
 			}
-			req.OnDone = t.completion(op.Kind, cpu)
 			if !cpu.mem.TryEnqueue(req) {
 				cpu.mem.WaitSpace(func() { core.kickIfMine(t) })
 				return
@@ -400,12 +506,30 @@ func (core *Core) advance(clock.Picos) {
 	}
 }
 
-// resume continues the compute-span thread if it still owns this core
-// when the event fires (it may have been preempted meanwhile; the ready
-// thread will re-run on its next dispatch).
-func (core *Core) resume(clock.Picos) {
-	if core.thread == core.resumeT {
-		core.kick()
+// startSpan begins a compute span of the given length and schedules the
+// core's span-end step, peeking one program operation ahead to classify
+// it: lane-local when the span is followed by another compute span at
+// least LaneLocalFloor long (so anything *that* span-end schedules —
+// including a crossing — lands at least the floor away, which is the
+// lane's declared edge latency), a crossing otherwise.
+func (core *Core) startSpan(t *Thread, now clock.Picos, cycles int64) {
+	cpu := core.cpu
+	end := now + cpu.dom.Duration(cycles)
+	t.computeUntil = end
+	if !t.haveOp && !t.progEnded {
+		if op, ok := t.prog.Next(); ok {
+			t.pending = op
+			t.haveOp = true
+		} else {
+			t.progEnded = true
+		}
+	}
+	if core.laned && core.localFloor > 0 &&
+		t.haveOp && t.pending.Kind == OpCompute &&
+		cpu.dom.Duration(t.pending.Cycles) >= core.localFloor {
+		core.sched.ScheduleLocal(&core.kickEv, end)
+	} else {
+		core.sched.Schedule(&core.kickEv, end)
 	}
 }
 
@@ -416,20 +540,20 @@ func (core *Core) kickIfMine(t *Thread) {
 	}
 }
 
-// completion builds the OnDone callback for a memory op of the given kind.
-func (t *Thread) completion(kind OpKind, cpu *CPU) func(clock.Picos) {
-	return func(clock.Picos) {
-		if kind == OpLoad {
-			t.loadsOut--
-		} else {
-			t.storesOut--
-		}
-		t.totalOut--
-		if t.blocked {
-			t.blocked = false
-			if t.core != nil {
-				t.core.kick()
-			}
+// complete absorbs one memory-operation completion. Completions fire at
+// the serial frontier (channel-lane crossings or host LLC-hit delivery),
+// so touching the thread and kicking its core is safe on any topology.
+func (t *Thread) complete(kind OpKind) {
+	if kind == OpLoad {
+		t.loadsOut--
+	} else {
+		t.storesOut--
+	}
+	t.totalOut--
+	if t.blocked {
+		t.blocked = false
+		if t.core != nil {
+			t.core.kick()
 		}
 	}
 }

@@ -132,14 +132,19 @@ type lastCAS struct {
 // Channel is one DDR4 channel: an FR-FCFS controller plus the ranks and
 // banks behind it. All timing bookkeeping is in command-clock cycles.
 //
-// On a sharded engine each channel schedules on its own event lane: the
-// scheduler tick and data-burst completions are lane-local unless they can
-// touch the outside world (queue-space waiters to notify, a completion
-// callback to invoke), which is what lets independent channels simulate in
-// parallel inside a conservative window. Everything the channel mutates —
-// queues, bank state, stats, its observer — belongs to the channel, so the
-// per-channel Observer must not be shared across channels of a sharded
-// machine.
+// On a sharded engine each channel schedules on its own event lane — the
+// topology lane "<set>:<id>" ("dram:0", "pim:3") when the engine was
+// built from a topology, a dynamically claimed lane otherwise. The
+// channel's only crossing edge is toward the host (the memory system
+// that enqueued the request): a data burst follows its column command by
+// min(CL,CWL)+BL, so that is the edge's minimum latency and the lane's
+// conservative lookahead. The scheduler tick and data-burst completions
+// are lane-local unless they can touch the outside world (queue-space
+// waiters to notify, a completion callback to invoke), which is what
+// lets independent channels simulate in parallel inside a conservative
+// window. Everything the channel mutates — queues, bank state, stats,
+// its observer — belongs to the channel, so the per-channel Observer
+// must not be shared across channels of a sharded machine.
 type Channel struct {
 	sched sim.Scheduler
 	cfg   Config
@@ -182,8 +187,16 @@ type Channel struct {
 }
 
 func newChannel(eng *sim.Engine, cfg Config, id int, name string) *Channel {
+	// Prefer the topology-declared lane; fall back to a dynamically
+	// claimed one (plain NewSharded engines, unit tests) with the same
+	// command-to-data lookahead. On a serial engine both paths resolve to
+	// the engine itself.
+	sched, ok := eng.Lane(fmt.Sprintf("%s:%d", name, id))
+	if !ok {
+		sched = eng.NewLane(cfg.Timing.MinCrossLatency())
+	}
 	c := &Channel{
-		sched:    eng.NewLane(cfg.Timing.MinCrossLatency()),
+		sched:    sched,
 		cfg:      cfg,
 		dom:      cfg.Timing.Domain(),
 		id:       id,

@@ -12,6 +12,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -42,6 +43,10 @@ func (s Scale) String() string {
 // every machine the experiments build; <= 1 selects the serial engine.
 var shardOverride atomic.Int64
 
+// coreLaneOverride is the process-wide per-core lane count (see
+// system.Config.CoreLanes).
+var coreLaneOverride atomic.Int64
+
 // SetShards selects the event-engine shard count for subsequent
 // experiment runs (the CLIs' -shards flag). Experiment output is
 // byte-identical across all shard counts >= 1; only wall-clock time
@@ -54,11 +59,54 @@ func SetShards(n int) { shardOverride.Store(int64(n)) }
 // Shards reports the shard count experiments currently use.
 func Shards() int { return int(shardOverride.Load()) }
 
+// SetCoreLanes selects the per-core lane count for subsequent experiment
+// runs (the CLIs' -core-lanes flag; requires -shards >= 1). Output is
+// byte-identical across every core-lane count.
+func SetCoreLanes(n int) { coreLaneOverride.Store(int64(n)) }
+
+// CoreLanes reports the core-lane count experiments currently use.
+func CoreLanes() int { return int(coreLaneOverride.Load()) }
+
+// laneStats, when non-nil, receives a per-machine ShardStats block after
+// each transfer or replay an experiment runs (the CLIs' -lane-stats
+// flag). Blocks print whole under a lock, but machines running in
+// parallel sweeps interleave blocks in completion order: the output is a
+// diagnostic, deliberately kept out of the deterministic experiment
+// artifact.
+var (
+	laneStatsMu sync.Mutex
+	laneStats   io.Writer
+)
+
+// SetLaneStats installs (or, with nil, removes) the lane-stats
+// diagnostic writer.
+func SetLaneStats(w io.Writer) {
+	laneStatsMu.Lock()
+	laneStats = w
+	laneStatsMu.Unlock()
+}
+
+// reportLaneStats prints one machine's per-lane counters to the
+// diagnostic writer.
+func reportLaneStats(tag string, s *system.System) {
+	laneStatsMu.Lock()
+	defer laneStatsMu.Unlock()
+	if laneStats == nil {
+		return
+	}
+	st := s.Eng.ShardStats()
+	if st.Lanes == nil {
+		return // plain engine: nothing to attribute
+	}
+	fmt.Fprintf(laneStats, "-- lanes: %s --\n%s", tag, st)
+}
+
 // newConfig is the Table I configuration at the given design point with
-// the experiment-wide shard selection applied.
+// the experiment-wide shard and core-lane selections applied.
 func newConfig(d system.Design) system.Config {
 	cfg := system.DefaultConfig(d)
 	cfg.Shards = Shards()
+	cfg.CoreLanes = CoreLanes()
 	return cfg
 }
 
@@ -70,7 +118,9 @@ func newSystem(d system.Design) *system.System {
 // runTransfer executes one whole-device transfer of totalBytes.
 func runTransfer(s *system.System, dir core.Direction, totalBytes uint64) system.XferResult {
 	per := perCore(s, totalBytes)
-	return s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
+	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
+	reportLaneStats(fmt.Sprintf("%v %v %d MiB", s.Cfg.Design, dir, totalBytes>>20), s)
+	return res
 }
 
 // perCore converts a total size into the per-core size, floored to one

@@ -78,6 +78,7 @@ func Replay(w io.Writer, sc Scale) {
 		if err != nil {
 			panic(err)
 		}
+		reportLaneStats(fmt.Sprintf("replay %s %v", wl.name, s.Cfg.Design), s)
 		return point{thr: rr.Throughput(), h: rr.Latency}
 	})
 	t := stats.NewTable("workload", "Base (GB/s)", "PIM-MMU (GB/s)", "gain",

@@ -16,21 +16,36 @@
 // # Sharding contract
 //
 // On a sharded engine (system.Config.Shards >= 1) every channel behind
-// this port simulates on its own event lane, and the memory system is the
-// boundary where the lanes interact with the host:
+// this port simulates on its own event lane, and — with CoreLanes >= 1 —
+// so does every CPU core and the DCE. The memory system is the crossing
+// boundary of that lane topology: every path through this package either
+// runs at the engine's serial frontier or is classified as a crossing
+// that will:
 //
 //   - enqueue crossings (TryEnqueue, WaitSpace, writeback retries) only
-//     ever run from host events, which the engine fires serially at its
-//     frontier — a window never has the host in flight, so pushing into a
-//     channel's queues and pulling its lane's clock forward is safe;
+//     ever run from serially-fired events — host events, core-lane
+//     crossing kicks, DCE phase events, channel ticks with registered
+//     waiters. A window never has any of them in flight, so touching the
+//     shared LLC, pushing into a channel's queues, and pulling its
+//     lane's clock forward are all safe;
 //   - complete crossings (a request's OnDone) are mailbox events on the
 //     owning channel's lane: the engine holds them at the frontier and
-//     drains them serially at window barriers in canonical order, so host
-//     state — the LLC hit queue, the DCE pipeline, replayers — observes
-//     completions exactly as a serial run would.
+//     drains them serially at window barriers in canonical order, so
+//     state on other lanes — a CPU thread's in-flight counters, the DCE
+//     pipeline, replayers — observes completions exactly as a serial run
+//     would;
+//   - LLC hits defer their completion through the host-lane hit queue
+//     (hitEv): the hit callback touches the issuing thread, which lives
+//     on an arbitrary core lane, and host events always fire serially;
+//   - the tap (trace recording) observes requests inside TryEnqueue,
+//     i.e. only ever from serial context, so one recorder safely sees
+//     CPU, DCE and contender traffic from every lane.
 //
-// Everything else the memory system owns (the LLC, the page map, the
-// deferred hit queue) is host state and never touched from a lane.
+// The core lanes' crossing edge latency is derived from this boundary:
+// min(LLC hit latency, scheduler quantum) — see
+// system.Config.CoreLaneLookahead. Everything else the memory system
+// owns (the LLC, the page map, the deferred hit queue) is host state and
+// never touched from a lane-local event.
 package memsys
 
 import (

@@ -52,6 +52,7 @@ type Event struct {
 	// Sharded-engine fields (see sharded.go); all zero on a serial engine.
 	lane    *Lane       // owning lane once scheduled through one
 	schedAt clock.Picos // simulated time of the most recent (re)schedule
+	xseq    uint64      // frontier sequence: fresh from serial context, inherited in windows
 	mpos    int         // mailbox (crossing sub-heap) index + 1; 0 when local
 }
 
@@ -111,6 +112,7 @@ func (te *tickerEvent) OnEvent(now clock.Picos) {
 type Engine struct {
 	now    clock.Picos
 	seq    uint64
+	xseq   uint64 // frontier sequence counter (see sharded.go headBefore)
 	heap   []*Event
 	fired  uint64
 	freeFn *funcEvent
@@ -186,9 +188,11 @@ func (e *Engine) Schedule(ev *Event, t clock.Picos) {
 		panic("sim: event with no handler (missing Init)")
 	}
 	e.seq++
+	e.xseq++
 	ev.at = t
 	ev.seq = e.seq
 	ev.schedAt = e.now
+	ev.xseq = e.xseq
 	if ev.pos == 0 {
 		e.heap = append(e.heap, ev)
 		ev.pos = len(e.heap)

@@ -1,25 +1,30 @@
 // Sharded execution: conservative-window parallel simulation of a single
 // machine.
 //
-// A sharded engine (NewSharded) partitions the event queue into lanes.
-// Lane 0 — the host lane — is the engine's own heap and carries every
-// component that can touch shared machine state: CPU cores, the DCE, the
-// LLC/memsys front end, tickers and closures. Each DDR4 channel claims its
-// own lane via NewLane; a lane is one shard of the event queue with its
-// own intrusive heap, its own clock, and its own serially assigned
-// sequence numbers.
+// A sharded engine partitions the event queue into lanes, one per
+// component whose interactions with the rest of the machine pass through
+// a latency-protected boundary. The lane set comes from a Topology
+// (NewShardedTopology; see topology.go) — DDR4 channels, CPU cores and
+// the DCE each claim their named lane — or from dynamic NewLane calls
+// (NewSharded). Lane 0 — the host lane — is the engine's own heap and
+// carries everything else that touches shared machine state: the
+// LLC/memsys front end, the OS scheduler, tickers and closures. A lane is
+// one shard of the event queue with its own intrusive heap, its own
+// clock, and its own serially assigned sequence numbers.
 //
 // Every scheduled event is classified at schedule time:
 //
 //   - local: firing it touches only its lane's state (a channel scheduler
 //     tick with no registered waiters, a data-burst completion with no
-//     completion callback). Local events may fire concurrently with other
-//     lanes' local events.
+//     completion callback, a CPU compute-span end whose continuation is
+//     provably another span). Local events may fire concurrently with
+//     other lanes' local events.
 //   - crossing: firing it may touch state outside its lane (any host
 //     event, a completion that invokes a caller's OnDone, a tick that will
-//     notify queue-space waiters). Crossing events are entered into the
-//     lane's mailbox — a sub-heap ordered by timestamp — and only ever
-//     fire serially, at the shared frontier, in a canonical deterministic
+//     notify queue-space waiters, a CPU execution step that may issue
+//     memory operations). Crossing events are entered into the lane's
+//     mailbox — a sub-heap ordered by timestamp — and only ever fire
+//     serially, at the shared frontier, in a canonical deterministic
 //     order.
 //
 // The dispatcher alternates between two modes:
@@ -27,12 +32,16 @@
 //   - Window mode: let H be the earliest crossing timestamp anywhere (the
 //     frontier) capped by every lane's conservative lookahead — the
 //     minimum delay after which a lane-local event can schedule a new
-//     crossing (for a DDR4 channel, the command-to-data latency
-//     min(CL,CWL)+BL: nothing a controller does becomes externally visible
-//     sooner than its data burst). All events strictly before H are
-//     provably lane-local and independent across lanes, so the lanes drain
-//     them in parallel, each stopping at H or at its first crossing event.
-//     At the window barrier the mailboxes are re-examined and the frontier
+//     crossing, derived from the lane's topology edges (for a DDR4
+//     channel, the command-to-data latency min(CL,CWL)+BL: nothing a
+//     controller does becomes externally visible sooner than its data
+//     burst; for a CPU core, min(LLC hit latency, scheduler quantum)).
+//     All events strictly before H are provably lane-local and independent
+//     across lanes, so the lanes drain them in parallel, each stopping at
+//     H or at its first crossing event. Small windows execute inline on
+//     the caller's goroutine instead of dispatching the pool (batched
+//     drains beat per-event frontier scans even single-threaded). At the
+//     window barrier the mailboxes are re-examined and the frontier
 //     advances.
 //   - Serial fallback: when the window degenerates (fewer than two lanes
 //     have runnable local events before H, or the engine was built with
@@ -42,12 +51,21 @@
 // Determinism contract: results are byte-identical across worker counts by
 // construction — window execution only ever covers commuting events, and
 // the serial frontier uses a canonical order, (timestamp, schedule
-// timestamp, lane, per-lane seq), that does not depend on how many workers
-// execute windows. Where schedule timestamps differ, that order is also
-// exactly the serial engine's (its global sequence numbers increase with
-// scheduling time), which is what keeps sharded runs byte-identical to
-// serial runs on every experiment; the cross-shard regression tests pin
-// this equivalence.
+// timestamp, frontier sequence, lane, per-lane seq), that does not depend
+// on how many workers execute windows. The frontier sequence is a global
+// counter stamped on every event scheduled from host code or from a
+// crossing event's handler (both only ever run serially); an event
+// scheduled by a lane-local event's handler instead inherits that event's
+// stamp — whether the local event fired inside a window or one-at-a-time
+// at a degenerate frontier — so a lane-local chain carries the stamp of
+// the serial event that started it.
+// That reproduces the plain engine's insertion order wherever the two
+// engines can be compared: frontier-scheduled events tie-break exactly as
+// plain insertion, and same-instant cohorts of window-scheduled events
+// (for example lockstep CPU cores ending identical compute spans) order by
+// the serial roots of their chains — again plain insertion order,
+// independent of how cores are partitioned onto lanes. The cross-shard
+// regression tests pin this equivalence on every experiment.
 package sim
 
 import (
@@ -110,7 +128,40 @@ type shardSet struct {
 	// runDepth counts nested Run/RunUntil/RunWhile calls; the worker
 	// pool only exists inside them, so no goroutine outlives a run loop.
 	runDepth int
+
+	// byName/topo are set when the engine was built from a Topology
+	// (NewShardedTopology); byName is nil for dynamically claimed lanes.
+	byName map[string]*Lane
+	topo   Topology
+
+	// active lists lanes with at least one scheduled event, the only
+	// lanes a frontier step must scan. Activation happens at schedule
+	// time (a lane scheduling inside a window is necessarily active
+	// already, so only serial contexts mutate the list); deactivation is
+	// lazy — the frontier scan prunes empty lanes — because windows drain
+	// heaps concurrently.
+	active []*Lane
+
+	// inlineNext, when true, runs the next window on the caller's
+	// goroutine instead of dispatching the pool: the previous window was
+	// too small for dispatch to amortize (a few lockstep core events
+	// rather than a channel-bound burst). Execution mode cannot affect
+	// results — window events commute and stamping is mode-independent —
+	// so this is purely a wall-clock adaptation.
+	inlineNext bool
+
+	// Instrumentation (ShardStats).
+	windows         uint64 // parallel windows executed
+	inlineWindows   uint64 // subset executed inline (small-window path)
+	serialSteps     uint64 // serial frontier fires
+	laneSerialFired uint64 // subset of Engine.fired that hit lanes
 }
+
+// inlineWindowMax is the events-per-window threshold below which the
+// next window runs inline: dispatching parked workers costs on the
+// order of a microsecond, so a window needs a multiple of the worker
+// count in events before parallel execution can pay for it.
+const inlineWindowMax = 6
 
 // NewSharded returns an engine whose components may claim per-shard event
 // lanes (NewLane); windows of provably independent lane-local events run
@@ -162,6 +213,7 @@ func (e *Engine) NewLane(lookahead clock.Picos) Scheduler {
 type Lane struct {
 	eng       *Engine
 	id        int
+	name      string // topology name; "" for dynamically claimed lanes
 	lookahead clock.Picos
 	// crossingFree mirrors the component's SetCrossingFree declaration;
 	// while true the lane's lookahead cap is waived.
@@ -169,10 +221,36 @@ type Lane struct {
 
 	now   clock.Picos // last fired event's timestamp in this lane
 	seq   uint64
-	fired uint64
+	fired uint64   // events fired inside windows (runLocal)
 	heap  []*Event // all scheduled events, (at, seq) order
 	mail  []*Event // mailbox: the crossing subset, ordered by at
+
+	// activeIdx is the lane's position + 1 in shardSet.active (0 when
+	// not listed).
+	activeIdx int
+
+	// curXseq/firingLocal drive frontier-sequence inheritance: while the
+	// lane fires one of its local events (in a window or serially at a
+	// degenerate frontier — the stamp rule must be execution-mode
+	// independent), events the handler schedules inherit curXseq (see
+	// the determinism contract in the package comment).
+	curXseq     uint64
+	firingLocal bool
+
+	// Instrumentation (ShardStats).
+	serialFired uint64 // events fired at the serial frontier
+	windows     uint64 // windows in which the lane fired >= 1 event
+	mailPeak    int    // mailbox high-water mark
 }
+
+// Name reports the lane's topology name ("" when claimed dynamically).
+func (l *Lane) Name() string { return l.name }
+
+// Lookahead reports the lane's conservative window bound — the minimum
+// delay between a lane-local event firing and any crossing it may
+// schedule. Components use it to keep their local/crossing
+// classification at least this conservative.
+func (l *Lane) Lookahead() clock.Picos { return l.lookahead }
 
 // Now reports the lane clock: the engine's serial clock, or the lane's own
 // when it has run ahead inside the current window.
@@ -205,10 +283,27 @@ func (l *Lane) schedule(ev *Event, t clock.Picos, crossing bool) {
 	ev.at = t
 	ev.seq = l.seq
 	ev.schedAt = now
+	// Frontier-sequence stamp: an event scheduled by one of this lane's
+	// local events firing — inside a window or serially, the rule must
+	// not depend on the execution mode — inherits the firing event's
+	// stamp, so a local chain carries its serial root's stamp; every
+	// other schedule (host code, a crossing event's handler) takes a
+	// fresh stamp from the engine counter, which only serial contexts
+	// touch (see the package comment).
+	if l.firingLocal {
+		ev.xseq = l.curXseq
+	} else {
+		l.eng.xseq++
+		ev.xseq = l.eng.xseq
+	}
 	if ev.pos == 0 {
 		l.heap = append(l.heap, ev)
 		ev.pos = len(l.heap)
 		evSiftUp(l.heap, len(l.heap)-1)
+		if l.activeIdx == 0 {
+			l.eng.shards.active = append(l.eng.shards.active, l)
+			l.activeIdx = len(l.eng.shards.active)
+		}
 	} else {
 		i := ev.pos - 1
 		if !evSiftUp(l.heap, i) {
@@ -219,6 +314,9 @@ func (l *Lane) schedule(ev *Event, t clock.Picos, crossing bool) {
 		if ev.mpos == 0 {
 			l.mail = append(l.mail, ev)
 			ev.mpos = len(l.mail)
+			if len(l.mail) > l.mailPeak {
+				l.mailPeak = len(l.mail)
+			}
 			mailSiftUp(l.mail, len(l.mail)-1)
 		} else {
 			i := ev.mpos - 1
@@ -255,6 +353,9 @@ func (l *Lane) Promote(ev *Event) {
 	}
 	l.mail = append(l.mail, ev)
 	ev.mpos = len(l.mail)
+	if len(l.mail) > l.mailPeak {
+		l.mailPeak = len(l.mail)
+	}
 	mailSiftUp(l.mail, len(l.mail)-1)
 }
 
@@ -262,27 +363,41 @@ func (l *Lane) Promote(ev *Event) {
 // stopping at the first crossing event. Only called between barriers, with
 // every other lane either parked or running its own runLocal.
 func (l *Lane) runLocal(h clock.Picos) {
+	n := uint64(0)
 	for len(l.heap) > 0 {
 		ev := l.heap[0]
 		if ev.at >= h || ev.mpos != 0 {
-			return
+			break
 		}
 		evHeapPop(&l.heap)
 		l.now = ev.at
 		l.fired++
+		n++
+		l.curXseq = ev.xseq
+		l.firingLocal = true
 		ev.h.OnEvent(ev.at)
+		l.firingLocal = false
+	}
+	if n > 0 {
+		l.windows++
 	}
 }
 
 // headBefore is the canonical frontier order across heaps: timestamp, then
 // schedule timestamp (which reproduces the serial engine's global
-// scheduling order whenever the two differ), then lane, then per-lane seq.
+// scheduling order whenever the two differ), then the frontier sequence
+// stamped at schedule time (which reproduces it when they tie — window
+// scheduled events carry their serial root's stamp), then lane, then
+// per-lane seq.
 func headBefore(a *Event, aLane int, b *Event, bLane int) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	if a.schedAt != b.schedAt {
 		return a.schedAt < b.schedAt
+	}
+	if a.xseq != b.xseq {
+		return a.xseq < b.xseq
 	}
 	if aLane != bLane {
 		return aLane < bLane
@@ -322,6 +437,7 @@ func (e *Engine) serialStep(limit clock.Picos) bool {
 
 // fireSerial pops and fires one event on the caller's goroutine.
 func (e *Engine) fireSerial(best *Event, bestLane int) {
+	e.shards.serialSteps++
 	if bestLane == 0 {
 		evHeapPop(&e.heap)
 		e.now = best.at
@@ -331,51 +447,89 @@ func (e *Engine) fireSerial(best *Event, bestLane int) {
 	}
 	l := e.shards.lanes[bestLane-1]
 	evHeapPop(&l.heap)
-	if best.mpos != 0 {
+	crossing := best.mpos != 0
+	if crossing {
 		mailRemove(&l.mail, best)
 	}
 	l.now = best.at
+	l.serialFired++
+	e.shards.laneSerialFired++
 	e.now = best.at
 	e.fired++
+	if !crossing {
+		// A lane-local event firing at a degenerate frontier must stamp
+		// exactly as it would inside a window, or worker counts would
+		// disagree on same-instant tie order.
+		l.curXseq = best.xseq
+		l.firingLocal = true
+		best.h.OnEvent(e.now)
+		l.firingLocal = false
+		return
+	}
 	best.h.OnEvent(e.now)
 }
 
 // shardedStep advances a sharded engine by one serial frontier event or
 // one parallel window, ignoring events beyond limit. It reports false when
-// nothing remains at or before limit.
+// nothing remains at or before limit. The canonical frontier minimum and
+// the safe horizon come from one pass over the lanes; the (rarer)
+// window-eligibility pass only runs when the horizon actually clears the
+// frontier.
 func (e *Engine) shardedStep(limit clock.Picos) bool {
 	s := e.shards
-	best, bestLane := e.minHead()
-	if best == nil || best.at > limit {
-		return false
-	}
 
-	// Safe horizon: the earliest crossing anywhere (host events always
-	// cross), capped by each lane's conservative lookahead on the events
-	// it would fire this window.
+	// One pass: the globally earliest event under the canonical order
+	// (lane 0 = the host heap), and the safe horizon — the earliest
+	// crossing anywhere (host events always cross), capped by each lane's
+	// conservative lookahead on the events it would fire this window.
+	var best *Event
+	bestLane := 0
 	h := clock.Never
 	if len(e.heap) > 0 {
-		h = e.heap[0].at
+		best = e.heap[0]
+		h = best.at
 	}
-	for _, l := range s.lanes {
+	for i := 0; i < len(s.active); {
+		l := s.active[i]
+		if len(l.heap) == 0 {
+			// Lazy prune (the mailbox is a subset of the heap): swap-remove
+			// the drained lane; only this serial scan mutates the list.
+			last := len(s.active) - 1
+			s.active[i] = s.active[last]
+			s.active[i].activeIdx = i + 1
+			s.active[last] = nil
+			s.active = s.active[:last]
+			l.activeIdx = 0
+			continue
+		}
+		i++
+		hd := l.heap[0]
+		if best == nil || headBefore(hd, l.id, best, bestLane) {
+			best, bestLane = hd, l.id
+		}
 		if len(l.mail) > 0 && l.mail[0].at < h {
 			h = l.mail[0].at
 		}
-		if len(l.heap) > 0 && !l.crossingFree {
-			if w := l.heap[0].at + l.lookahead; w >= l.heap[0].at && w < h {
+		if !l.crossingFree {
+			if w := hd.at + l.lookahead; w >= hd.at && w < h {
 				h = w
 			}
 		}
+	}
+	if best == nil || best.at > limit {
+		return false
 	}
 	if limit < clock.Never && limit+1 < h {
 		h = limit + 1
 	}
 
 	// Window mode needs at least two lanes with runnable local work;
-	// otherwise parallelism cannot pay for the barrier.
-	if s.workers > 1 {
+	// otherwise parallelism cannot pay for the barrier. A horizon at (or
+	// below) the frontier event cannot contain anything, so the
+	// eligibility pass is skipped entirely on frontier-bound stretches.
+	if s.workers > 1 && h > best.at {
 		eligible := 0
-		for _, l := range s.lanes {
+		for _, l := range s.active {
 			if len(l.heap) > 0 && l.heap[0].mpos == 0 && l.heap[0].at < h {
 				if eligible++; eligible >= 2 {
 					break
@@ -407,11 +561,27 @@ func (e *Engine) runWindow(h clock.Picos) {
 	if s.pool == nil && s.runDepth > 0 {
 		s.pool = newWindowPool(s.lanes, workers)
 	}
-	if s.pool != nil {
+	s.windows++
+	var before uint64
+	for _, l := range s.active {
+		before += l.fired
+	}
+	switch {
+	case s.inlineNext:
+		s.inlineWindows++
+		for _, l := range s.active {
+			l.runLocal(h)
+		}
+	case s.pool != nil:
 		s.pool.runWindow(h)
-	} else {
+	default:
 		runWindowAdhoc(s.lanes, workers, h)
 	}
+	var after uint64
+	for _, l := range s.active {
+		after += l.fired
+	}
+	s.inlineNext = after-before < inlineWindowMax*uint64(workers)
 	// Advance the serial clock to the furthest point the window reached:
 	// every event fired in it was before h, and every remaining event is
 	// at or beyond h, so this can never move time past a pending event.

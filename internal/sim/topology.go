@@ -1,0 +1,241 @@
+// Lane topology: the declarative description a sharded engine is built
+// from.
+//
+// PR 3 hard-coded one lane per DDR4 channel plus the host lane. A
+// Topology generalizes that: it names every lane of the simulated
+// machine and, for each lane, the crossing edges through which the
+// lane's component can become visible to the rest of the machine, with
+// the minimum simulated latency of each edge. The lane's conservative
+// lookahead — the window bound of sharded.go — is the minimum over its
+// outgoing edges: nothing the lane does locally can take effect across
+// any edge sooner than that.
+//
+// The Table I machine's topology (built by system.Config.Topology):
+//
+//	dram:<i> --min(CL,CWL)+BL--> host      (data burst after a column command)
+//	pim:<i>  --min(CL,CWL)+BL--> host      (same, PIM DIMM timing)
+//	core:<i> --min(LLC hit, quantum)--> llc (earliest a computing core can
+//	                                        reach shared memory state)
+//	dce      --0--> llc                     (serial-only: every DCE event
+//	                                        touches the memory system)
+//
+// An edge with zero minimum latency makes the lane serial-only: its
+// events always fire at the shared frontier, but per-lane accounting
+// (ShardStats) still attributes them.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Edge is one crossing edge out of a lane: the destination label (host,
+// llc, another lane — informational) and the minimum simulated latency
+// between a lane-local event firing and any effect becoming visible
+// across this edge.
+type Edge struct {
+	To         string
+	MinLatency clock.Picos
+}
+
+// LaneSpec declares one lane of a topology.
+type LaneSpec struct {
+	Name  string
+	Edges []Edge
+}
+
+// Lookahead is the lane's conservative window bound: the minimum over
+// its crossing edges' latencies. A lane with no declared edges is
+// serial-only (lookahead 0): absent knowledge of how it interacts, the
+// engine must assume it can cross immediately.
+func (s LaneSpec) Lookahead() clock.Picos {
+	if len(s.Edges) == 0 {
+		return 0
+	}
+	la := s.Edges[0].MinLatency
+	for _, e := range s.Edges[1:] {
+		if e.MinLatency < la {
+			la = e.MinLatency
+		}
+	}
+	if la < 0 {
+		la = 0
+	}
+	return la
+}
+
+// Topology is the lane set a sharded engine is built from.
+type Topology struct {
+	Lanes []LaneSpec
+}
+
+// Add appends a lane spec (builder convenience).
+func (t *Topology) Add(name string, edges ...Edge) *Topology {
+	t.Lanes = append(t.Lanes, LaneSpec{Name: name, Edges: edges})
+	return t
+}
+
+// Validate reports malformed topologies: empty or duplicate lane names,
+// negative edge latencies.
+func (t Topology) Validate() error {
+	seen := make(map[string]bool, len(t.Lanes))
+	for _, l := range t.Lanes {
+		if l.Name == "" {
+			return fmt.Errorf("sim: topology lane with empty name")
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("sim: duplicate topology lane %q", l.Name)
+		}
+		seen[l.Name] = true
+		for _, e := range l.Edges {
+			if e.MinLatency < 0 {
+				return fmt.Errorf("sim: lane %q edge to %q has negative latency %d",
+					l.Name, e.To, e.MinLatency)
+			}
+		}
+	}
+	return nil
+}
+
+// NewShardedTopology builds a sharded engine with every lane of the
+// topology claimed up front; components then attach to their lane by
+// name via Engine.Lane. workers selects how many goroutines execute
+// conservative windows (1 = the serial determinism reference).
+func NewShardedTopology(workers int, t Topology) (*Engine, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	e := NewSharded(workers)
+	e.shards.byName = make(map[string]*Lane, len(t.Lanes))
+	e.shards.topo = t
+	for _, spec := range t.Lanes {
+		l := e.NewLane(spec.Lookahead()).(*Lane)
+		l.name = spec.Name
+		e.shards.byName[spec.Name] = l
+	}
+	return e, nil
+}
+
+// MustNewShardedTopology is NewShardedTopology for static topologies.
+func MustNewShardedTopology(workers int, t Topology) *Engine {
+	e, err := NewShardedTopology(workers, t)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Lane looks up a topology lane by name. ok is false when the engine is
+// serial, was built without a topology (plain NewSharded), or the
+// topology does not declare the name; callers then fall back to the
+// host lane or a dynamically claimed one.
+func (e *Engine) Lane(name string) (Scheduler, bool) {
+	if e.shards == nil || e.shards.byName == nil {
+		return nil, false
+	}
+	l, ok := e.shards.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return l, true
+}
+
+// TopologySpec reports the topology the engine was built from (zero
+// value for serial or dynamically sharded engines).
+func (e *Engine) TopologySpec() Topology {
+	if e.shards == nil {
+		return Topology{}
+	}
+	return e.shards.topo
+}
+
+// LaneStats is one lane's instrumentation snapshot (see ShardStats).
+type LaneStats struct {
+	Name      string
+	Lookahead clock.Picos
+	// Fired counts events fired on the lane: WindowFired inside parallel
+	// windows, SerialFired one at a time at the shared frontier.
+	Fired       uint64
+	WindowFired uint64
+	SerialFired uint64
+	// Windows counts conservative windows in which the lane fired at
+	// least one local event.
+	Windows uint64
+	// Pending is the lane's scheduled-but-unfired event count; Mailbox is
+	// the crossing subset currently held for the frontier, and
+	// MailboxPeak its high-water mark over the run.
+	Pending     int
+	Mailbox     int
+	MailboxPeak int
+}
+
+// ShardStats is a snapshot of the sharded engine's execution counters:
+// where events fired (windows vs the serial frontier) and how deep each
+// lane's mailbox ran. Take it from host context (between runs or inside
+// a host event); a plain engine reports a zero value with nil Lanes.
+type ShardStats struct {
+	Workers int
+	// Windows counts window executions (InlineWindows of which ran on
+	// the caller's goroutine because they were too small for pool
+	// dispatch to amortize); SerialSteps counts serial frontier fires
+	// (the serial-fallback path plus every crossing event). A run
+	// dominated by SerialSteps is frontier-bound: the lane decomposition
+	// is not buying parallelism on that workload.
+	Windows       uint64
+	InlineWindows uint64
+	SerialSteps   uint64
+	// HostFired/HostPending describe the host lane (lane 0).
+	HostFired   uint64
+	HostPending int
+	Lanes       []LaneStats
+}
+
+// ShardStats snapshots the engine's per-lane instrumentation counters.
+func (e *Engine) ShardStats() ShardStats {
+	if e.shards == nil {
+		return ShardStats{Workers: 1}
+	}
+	s := e.shards
+	st := ShardStats{
+		Workers:       s.workers,
+		Windows:       s.windows,
+		InlineWindows: s.inlineWindows,
+		SerialSteps:   s.serialSteps,
+		HostFired:     e.fired - s.laneSerialFired,
+		HostPending:   len(e.heap),
+	}
+	for _, l := range s.lanes {
+		name := l.name
+		if name == "" {
+			name = fmt.Sprintf("lane:%d", l.id)
+		}
+		st.Lanes = append(st.Lanes, LaneStats{
+			Name:        name,
+			Lookahead:   l.lookahead,
+			Fired:       l.fired + l.serialFired,
+			WindowFired: l.fired,
+			SerialFired: l.serialFired,
+			Windows:     l.windows,
+			Pending:     len(l.heap),
+			Mailbox:     len(l.mail),
+			MailboxPeak: l.mailPeak,
+		})
+	}
+	return st
+}
+
+// String renders the snapshot as one aligned block for -lane-stats
+// style diagnostics.
+func (st ShardStats) String() string {
+	if st.Lanes == nil {
+		return "plain engine (no lanes)\n"
+	}
+	out := fmt.Sprintf("workers=%d windows=%d (inline %d) serial-steps=%d host fired=%d pending=%d\n",
+		st.Workers, st.Windows, st.InlineWindows, st.SerialSteps, st.HostFired, st.HostPending)
+	for _, l := range st.Lanes {
+		out += fmt.Sprintf("  %-10s lookahead=%-12v fired=%d (window %d / serial %d) windows=%d mailbox=%d peak=%d\n",
+			l.Name, l.Lookahead, l.Fired, l.WindowFired, l.SerialFired, l.Windows, l.Mailbox, l.MailboxPeak)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	var good Topology
+	good.Add("dram:0", Edge{To: "host", MinLatency: 100})
+	good.Add("core:0", Edge{To: "llc", MinLatency: 50}, Edge{To: "os", MinLatency: 900})
+	good.Add("dce")
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		topo func() Topology
+	}{
+		{"empty name", func() Topology { var tp Topology; tp.Add(""); return tp }},
+		{"duplicate name", func() Topology {
+			var tp Topology
+			tp.Add("a")
+			tp.Add("a")
+			return tp
+		}},
+		{"negative latency", func() Topology {
+			var tp Topology
+			tp.Add("a", Edge{To: "host", MinLatency: -1})
+			return tp
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.topo().Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed topology", tc.name)
+		}
+	}
+}
+
+func TestLaneSpecLookahead(t *testing.T) {
+	cases := []struct {
+		spec LaneSpec
+		want clock.Picos
+	}{
+		// The lookahead is the minimum over the crossing edges.
+		{LaneSpec{Edges: []Edge{{MinLatency: 300}, {MinLatency: 100}, {MinLatency: 200}}}, 100},
+		// No edges: serial-only — the engine must assume immediate crossing.
+		{LaneSpec{}, 0},
+		{LaneSpec{Edges: []Edge{{MinLatency: 42}}}, 42},
+	}
+	for i, tc := range cases {
+		if got := tc.spec.Lookahead(); got != tc.want {
+			t.Errorf("case %d: Lookahead = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestNewShardedTopologyClaimsLanesByName(t *testing.T) {
+	var topo Topology
+	topo.Add("ch:0", Edge{To: "host", MinLatency: 1000})
+	topo.Add("ch:1", Edge{To: "host", MinLatency: 1000})
+	topo.Add("serial-only")
+	eng, err := NewShardedTopology(2, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, ok := eng.Lane("ch:0")
+	if !ok {
+		t.Fatal("declared lane not found")
+	}
+	l0 := s0.(*Lane)
+	if l0.Name() != "ch:0" || l0.lookahead != 1000 {
+		t.Errorf("lane ch:0 = %q lookahead %v, want ch:0 / 1000", l0.Name(), l0.lookahead)
+	}
+	sd, ok := eng.Lane("serial-only")
+	if !ok || sd.(*Lane).lookahead != 0 {
+		t.Error("edge-less lane must exist with zero lookahead (serial-only)")
+	}
+	if _, ok := eng.Lane("missing"); ok {
+		t.Error("undeclared lane resolved")
+	}
+	if got := len(eng.TopologySpec().Lanes); got != 3 {
+		t.Errorf("TopologySpec reports %d lanes, want 3", got)
+	}
+	// Serial and dynamically sharded engines decline lookups.
+	if _, ok := New().Lane("ch:0"); ok {
+		t.Error("serial engine resolved a lane name")
+	}
+	if _, ok := NewSharded(2).Lane("ch:0"); ok {
+		t.Error("dynamically sharded engine resolved a lane name")
+	}
+}
+
+func TestNewShardedTopologyRejectsInvalid(t *testing.T) {
+	var topo Topology
+	topo.Add("a")
+	topo.Add("a")
+	if _, err := NewShardedTopology(2, topo); err == nil {
+		t.Fatal("NewShardedTopology accepted a duplicate lane")
+	}
+}
+
+// TestShardStatsCounters runs the synthetic multi-lane harness and checks
+// the instrumentation snapshot adds up: per-lane fired splits into
+// window vs serial fires, mailbox peaks record crossings, and the totals
+// agree with Engine.Fired.
+func TestShardStatsCounters(t *testing.T) {
+	eng := NewSharded(4)
+	h := buildHarness(eng, 4, 300)
+	eng.Run()
+	st := eng.ShardStats()
+	if st.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", st.Workers)
+	}
+	if len(st.Lanes) != 4 {
+		t.Fatalf("lanes = %d, want 4", len(st.Lanes))
+	}
+	var total uint64
+	for i, l := range st.Lanes {
+		if l.Fired != l.WindowFired+l.SerialFired {
+			t.Errorf("lane %d: Fired %d != window %d + serial %d", i, l.Fired, l.WindowFired, l.SerialFired)
+		}
+		if l.Fired == 0 {
+			t.Errorf("lane %d fired nothing", i)
+		}
+		if l.MailboxPeak == 0 {
+			t.Errorf("lane %d: crossings ran but MailboxPeak = 0", i)
+		}
+		if l.Pending != 0 || l.Mailbox != 0 {
+			t.Errorf("lane %d: pending %d mailbox %d after drain", i, l.Pending, l.Mailbox)
+		}
+		if l.Name != "" && !strings.HasPrefix(l.Name, "lane:") {
+			t.Errorf("dynamic lane %d has unexpected name %q", i, l.Name)
+		}
+		total += l.Fired
+	}
+	if total+st.HostFired != eng.Fired() {
+		t.Errorf("lane fires %d + host %d != engine total %d", total, st.HostFired, eng.Fired())
+	}
+	if st.Windows == 0 {
+		t.Error("no windows executed on a 4-worker harness")
+	}
+	if st.SerialSteps == 0 {
+		t.Error("no serial frontier steps recorded")
+	}
+	if len(h.log) == 0 {
+		t.Error("harness produced no crossings")
+	}
+	if !strings.Contains(st.String(), "workers=4") {
+		t.Errorf("String() = %q lacks worker count", st.String())
+	}
+}
+
+// TestShardStatsPlainEngine pins the plain-engine snapshot: a zero value
+// with nil lanes, so callers can gate diagnostics on it.
+func TestShardStatsPlainEngine(t *testing.T) {
+	st := New().ShardStats()
+	if st.Lanes != nil || st.Windows != 0 {
+		t.Errorf("plain engine ShardStats = %+v, want empty", st)
+	}
+	if !strings.Contains(st.String(), "plain engine") {
+		t.Errorf("String() = %q", st.String())
+	}
+}

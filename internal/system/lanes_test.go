@@ -1,0 +1,175 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestLaneFlagValidation covers the error paths of the shard/core-lane
+// settings: negative counts and core lanes without a sharded engine are
+// rejected, not clamped.
+func TestLaneFlagValidation(t *testing.T) {
+	cases := []struct {
+		name              string
+		shards, coreLanes int
+		wantErr           string
+	}{
+		{"negative shards", -1, 0, "negative shard count"},
+		{"negative core lanes", 1, -2, "negative core-lane count"},
+		{"core lanes without shards", 0, 4, "requires a sharded engine"},
+		{"plain ok", 0, 0, ""},
+		{"sharded ok", 4, 8, ""},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(PIMMMU)
+		cfg.Shards = tc.shards
+		cfg.CoreLanes = tc.coreLanes
+		err := cfg.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want one containing %q", tc.name, err, tc.wantErr)
+		}
+		if _, nerr := New(cfg); nerr == nil {
+			t.Errorf("%s: New accepted the invalid config", tc.name)
+		}
+	}
+}
+
+// TestLaneFlagClamping covers the clamp-with-warning paths: excessive
+// lane counts normalize to the machine's limits with one warning each.
+func TestLaneFlagClamping(t *testing.T) {
+	cfg := DefaultConfig(PIMMMU)
+	cfg.Shards = 1
+	cfg.CoreLanes = cfg.CPU.Cores + 5
+	norm, warns := cfg.Normalize()
+	if norm.CoreLanes != cfg.CPU.Cores {
+		t.Errorf("CoreLanes normalized to %d, want %d", norm.CoreLanes, cfg.CPU.Cores)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "clamping") {
+		t.Errorf("warnings = %v, want one clamp warning", warns)
+	}
+
+	cfg = DefaultConfig(PIMMMU)
+	cfg.Shards = 1000
+	cfg.CoreLanes = 2
+	norm, warns = cfg.Normalize()
+	wantLanes := cfg.Mem.DRAM.Geometry.Channels + cfg.Mem.PIM.Geometry.Channels + 2 + 1
+	if norm.Shards != wantLanes {
+		t.Errorf("Shards normalized to %d, want the %d-lane total", norm.Shards, wantLanes)
+	}
+	if len(warns) != 1 {
+		t.Errorf("warnings = %v, want one", warns)
+	}
+
+	// In-range settings pass through untouched.
+	cfg = DefaultConfig(PIMMMU)
+	cfg.Shards = 2
+	cfg.CoreLanes = 4
+	if norm, warns = cfg.Normalize(); len(warns) != 0 || norm.Shards != 2 || norm.CoreLanes != 4 {
+		t.Errorf("in-range settings changed: %+v warns %v", norm, warns)
+	}
+
+	// New applies the clamps silently and still builds.
+	cfg.CoreLanes = cfg.CPU.Cores + 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cfg.CPU.Lanes; got != cfg.CPU.Cores {
+		t.Errorf("built machine uses %d core lanes, want clamp to %d", got, cfg.CPU.Cores)
+	}
+}
+
+// TestNormalizeLaneFlags covers the CLI-facing wrapper.
+func TestNormalizeLaneFlags(t *testing.T) {
+	if _, _, _, err := NormalizeLaneFlags(-1, 0); err == nil {
+		t.Error("negative -shards accepted")
+	}
+	if _, _, _, err := NormalizeLaneFlags(0, 3); err == nil {
+		t.Error("-core-lanes without -shards accepted")
+	}
+	sh, cl, warns, err := NormalizeLaneFlags(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh != 2 || cl != DefaultConfig(PIMMMU).CPU.Cores || len(warns) != 1 {
+		t.Errorf("NormalizeLaneFlags(2, 100) = %d, %d, %v", sh, cl, warns)
+	}
+}
+
+// TestTopologyShape pins the lane topology the machine is built from:
+// one lane per channel of each device set, CoreLanes core lanes with the
+// LLC edge, and the serial-only dce lane.
+func TestTopologyShape(t *testing.T) {
+	cfg := DefaultConfig(PIMMMU)
+	cfg.Shards = 1
+	cfg.CoreLanes = 3
+	topo := cfg.Topology()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Mem.DRAM.Geometry.Channels + cfg.Mem.PIM.Geometry.Channels + 3 + 1
+	if len(topo.Lanes) != want {
+		t.Fatalf("topology has %d lanes, want %d", len(topo.Lanes), want)
+	}
+	byName := map[string]int{}
+	for _, l := range topo.Lanes {
+		byName[l.Name] = int(l.Lookahead())
+	}
+	if la := byName["dram:0"]; la != int(cfg.Mem.DRAM.Timing.MinCrossLatency()) {
+		t.Errorf("dram:0 lookahead = %d, want the command-to-data latency", la)
+	}
+	if la := byName["core:2"]; la != int(cfg.CoreLaneLookahead()) {
+		t.Errorf("core:2 lookahead = %d, want CoreLaneLookahead", la)
+	}
+	if la, ok := byName["dce"]; !ok || la != 0 {
+		t.Errorf("dce lane lookahead = %d (present %v), want serial-only 0", la, ok)
+	}
+	if _, ok := byName["core:3"]; ok {
+		t.Error("topology declared more core lanes than configured")
+	}
+}
+
+// TestCoreLaneLookaheadDerivation pins the min(LLC hit, quantum) rule.
+func TestCoreLaneLookaheadDerivation(t *testing.T) {
+	cfg := DefaultConfig(PIMMMU)
+	if got := cfg.CoreLaneLookahead(); got != cfg.Mem.LLCHitLatency {
+		t.Errorf("lookahead = %v, want the LLC hit latency %v", got, cfg.Mem.LLCHitLatency)
+	}
+	cfg.CPU.Quantum = 3 * clock.Nanosecond // pathological, but the min must hold
+	if got := cfg.CoreLaneLookahead(); got != 3*clock.Nanosecond {
+		t.Errorf("lookahead = %v, want the quantum", got)
+	}
+}
+
+// TestBuiltMachineClaimsLanes checks the wired machine: every topology
+// lane is claimed and attributable through ShardStats.
+func TestBuiltMachineClaimsLanes(t *testing.T) {
+	cfg := DefaultConfig(PIMMMU)
+	cfg.Shards = 1
+	cfg.CoreLanes = 2
+	s := MustNew(cfg)
+	st := s.Eng.ShardStats()
+	names := map[string]bool{}
+	for _, l := range st.Lanes {
+		names[l.Name] = true
+	}
+	for _, want := range []string{"dram:0", "pim:3", "core:0", "core:1", "dce"} {
+		if !names[want] {
+			t.Errorf("built machine lacks lane %q (have %v)", want, names)
+		}
+	}
+	for i := 0; i < cfg.Mem.DRAM.Geometry.Channels; i++ {
+		if !names[fmt.Sprintf("dram:%d", i)] {
+			t.Errorf("missing dram:%d", i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package system_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/contend"
+	"repro/internal/cpu"
+	"repro/internal/system"
+)
+
+// benchContenders builds a Table I machine at the given lane topology
+// with n spin contenders — the Fig. 13a interference workload: every
+// thread alternates compute-span chains (lane-local on a per-core lane)
+// with LLC-hit loads (crossings at the memory-system boundary) — and
+// runs it for simTime. It returns the machine for verification.
+func benchContenders(shards, coreLanes, n int, simTime clock.Picos) *system.System {
+	cfg := system.DefaultConfig(system.Base)
+	cfg.Shards = shards
+	cfg.CoreLanes = coreLanes
+	s := system.MustNew(cfg)
+	const wset = 16 << 10
+	base := s.Alloc(uint64(n) * wset)
+	st := s.Contenders(n, func(i int, st *contend.Stopper) cpu.Program {
+		return contend.Spin(st, base+uint64(i)*wset)
+	})
+	s.Eng.RunUntil(simTime)
+	st.Stop()
+	return s
+}
+
+// BenchmarkEngineShardedCores measures the multi-contender speedup of
+// per-core host lanes on the Fig. 13a spin-contender workload — the
+// artifact captured into BENCH_engine.json, framed exactly like the
+// channel counterpart (BenchmarkEngineShardedChannels): the plain
+// engine, the sharded queue executed serially (lanes1, the determinism
+// reference), windowed execution at 2/4/8 workers with one lane per
+// core, and — for the topology comparison — 8 workers with every core
+// left on the host lane (PR 3 behavior). The windowed core-lane rows
+// beat lanes1 even single-threaded (batched lane dispatch skips the
+// per-event frontier scan); on multi-core hardware the 8 lanes'
+// windows additionally execute in parallel.
+func BenchmarkEngineShardedCores(b *testing.B) {
+	const (
+		contenders = 8
+		simTime    = 4 * clock.Millisecond
+	)
+	for _, p := range []struct {
+		name              string
+		shards, coreLanes int
+	}{
+		{"serial", 0, 0},
+		{"lanes1", 1, 8},
+		{"lanes2", 2, 8},
+		{"lanes4", 4, 8},
+		{"lanes8", 8, 8},
+		{"host-lanes8", 8, 0},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			var memOps uint64
+			for i := 0; i < b.N; i++ {
+				s := benchContenders(p.shards, p.coreLanes, contenders, simTime)
+				memOps = 0
+				for _, c := range s.CPU.Cores() {
+					if t := c.Thread(); t != nil {
+						memOps += t.MemOps
+					}
+				}
+			}
+			b.ReportMetric(float64(memOps), "memops")
+		})
+	}
+}
+
+// TestBenchContendersDeterministic pins that the benchmark workload
+// itself is lane-topology invariant — per-thread progress and engine
+// event counts match bit for bit — so the speedup comparison is apples
+// to apples.
+func TestBenchContendersDeterministic(t *testing.T) {
+	snap := func(shards, coreLanes int) string {
+		s := benchContenders(shards, coreLanes, 8, 2*clock.Millisecond)
+		out := fmt.Sprintf("now=%v", s.Eng.Now())
+		for _, c := range s.CPU.Cores() {
+			if th := c.Thread(); th != nil {
+				out += fmt.Sprintf(" [%s ops=%d busy=%v]", th.Name, th.MemOps, c.BusyTime())
+			}
+		}
+		ls := s.Mem.LLC.Stats()
+		out += fmt.Sprintf(" llc=%d/%d", ls.Hits, ls.Misses)
+		return out
+	}
+	want := snap(0, 0)
+	for _, p := range []struct{ shards, coreLanes int }{
+		{1, 0}, {1, 4}, {2, 2}, {4, 8}, {8, 8},
+	} {
+		if got := snap(p.shards, p.coreLanes); got != want {
+			t.Errorf("shards=%d core-lanes=%d diverged:\nwant %s\ngot  %s",
+				p.shards, p.coreLanes, want, got)
+		}
+	}
+}

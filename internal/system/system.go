@@ -88,18 +88,115 @@ type Config struct {
 	Memcpy   xfer.MemcpyConfig
 	Design   Design
 	// Shards selects the event-engine execution mode. 0 (the default)
-	// runs the machine on the plain serial engine. >= 1 shards the event
-	// queue per DDR4 channel (sim.NewSharded): 1 executes everything
-	// serially — the determinism reference — while >= 2 runs conservative
-	// windows of channel-local events across that many worker goroutines.
-	// Sharded output is byte-identical across all shard counts >= 1 by
-	// construction; only wall-clock time changes. The plain engine agrees
-	// with the sharded one everywhere except the tie order of events
-	// scheduled at identical timestamps from identical instants, where
-	// each engine uses its own (equally valid, bit-stable) canonical
-	// order; the golden command streams and replay metrics are pinned
-	// identical across both by the cross-shard regression tests.
+	// runs the machine on the plain serial engine. >= 1 builds a sharded
+	// engine from the machine's lane topology (see Topology): 1 executes
+	// everything serially — the determinism reference — while >= 2 runs
+	// conservative windows of lane-local events across that many worker
+	// goroutines. Sharded output is byte-identical across all shard
+	// counts >= 1 by construction; only wall-clock time changes. The
+	// plain engine agrees with the sharded one everywhere except the tie
+	// order of events scheduled at identical timestamps from identical
+	// instants, where each engine uses its own (equally valid,
+	// bit-stable) canonical order; the golden command streams and replay
+	// metrics are pinned identical across both by the cross-shard
+	// regression tests.
 	Shards int
+	// CoreLanes adds per-core host lanes to the topology: CPU core i
+	// schedules on lane "core:<i mod CoreLanes>", with the LLC as the
+	// crossing boundary (cores only interact through the memory system
+	// and the OS scheduler quantum). 0 (the default) keeps every core on
+	// the host lane — PR 3 behavior. Requires Shards >= 1; output is
+	// byte-identical across every core-lane count, pinned by the
+	// cross-shard regression tests.
+	CoreLanes int
+}
+
+// Topology is the machine's lane topology, the declarative input
+// sim.NewShardedTopology builds the sharded engine from:
+//
+//   - one lane per DDR4 channel of each device set ("dram:<i>",
+//     "pim:<i>"), crossing toward the host with the command-to-data
+//     latency min(CL,CWL)+BL of that set's timing — nothing a controller
+//     does becomes externally visible sooner than its data burst;
+//   - CoreLanes per-core lanes ("core:<i>"), crossing at the LLC with
+//     min(LLC hit latency, scheduler quantum) — the earliest a computing
+//     core can reach shared memory state, and the only other
+//     externally-imposed interaction is the preemption quantum;
+//   - the serial-only "dce" lane (zero-latency edge: every DCE event
+//     pumps the memory system).
+func (c Config) Topology() sim.Topology {
+	var t sim.Topology
+	for i := 0; i < c.Mem.DRAM.Geometry.Channels; i++ {
+		t.Add(fmt.Sprintf("dram:%d", i),
+			sim.Edge{To: "host", MinLatency: c.Mem.DRAM.Timing.MinCrossLatency()})
+	}
+	for i := 0; i < c.Mem.PIM.Geometry.Channels; i++ {
+		t.Add(fmt.Sprintf("pim:%d", i),
+			sim.Edge{To: "host", MinLatency: c.Mem.PIM.Timing.MinCrossLatency()})
+	}
+	la := c.CoreLaneLookahead()
+	for i := 0; i < c.CoreLanes; i++ {
+		t.Add(fmt.Sprintf("core:%d", i), sim.Edge{To: "llc", MinLatency: la})
+	}
+	t.Add("dce", sim.Edge{To: "llc", MinLatency: 0})
+	return t
+}
+
+// CoreLaneLookahead derives the core lanes' crossing-edge latency: a
+// core executing a compute span cannot make a new memory access visible
+// sooner than an LLC traversal, and the only other externally-imposed
+// interaction — preemption — arrives no sooner than the scheduler
+// quantum. The same value seeds cpu.Config.LaneLocalFloor, which keeps
+// the classification and the window bound consistent by construction.
+func (c Config) CoreLaneLookahead() clock.Picos {
+	la := c.Mem.LLCHitLatency
+	if c.CPU.Quantum < la {
+		la = c.CPU.Quantum
+	}
+	return la
+}
+
+// Normalize clamps out-of-range lane settings to their effective values
+// and reports one warning string per adjustment (the CLIs print them;
+// New applies the same clamps silently). Invalid — rather than merely
+// excessive — settings are Validate errors, not clamps.
+func (c Config) Normalize() (Config, []string) {
+	var warns []string
+	if c.CoreLanes > c.CPU.Cores {
+		warns = append(warns, fmt.Sprintf(
+			"core lanes %d exceed the %d CPU cores; clamping to %d (extra lanes would idle)",
+			c.CoreLanes, c.CPU.Cores, c.CPU.Cores))
+		c.CoreLanes = c.CPU.Cores
+	}
+	if lanes := c.laneCount(); c.Shards > lanes {
+		warns = append(warns, fmt.Sprintf(
+			"shards %d exceed the machine's %d event lanes; clamping to %d (extra workers would idle)",
+			c.Shards, lanes, lanes))
+		c.Shards = lanes
+	}
+	return c, warns
+}
+
+// laneCount is the total lane count of the machine's topology (windows
+// cannot use more workers than lanes).
+func (c Config) laneCount() int {
+	return c.Mem.DRAM.Geometry.Channels + c.Mem.PIM.Geometry.Channels + c.CoreLanes + 1
+}
+
+// NormalizeLaneFlags validates and normalizes the CLIs' -shards /
+// -core-lanes flags against the Table I machine: negative values and
+// core lanes without a sharded engine are errors; excessive values clamp
+// with a warning string per adjustment. The returned values are the
+// effective settings to apply.
+func NormalizeLaneFlags(shards, coreLanes int) (int, int, []string, error) {
+	cfg := DefaultConfig(PIMMMU)
+	cfg.Shards = shards
+	cfg.CoreLanes = coreLanes
+	if shards < 0 || coreLanes < 0 || (coreLanes > 0 && shards == 0) {
+		return 0, 0, nil, cfg.Validate()
+	}
+	cfg, warns := cfg.Normalize()
+	return cfg.Shards, cfg.CoreLanes, warns, nil
 }
 
 // DefaultConfig is the Table I machine with the chosen design point.
@@ -133,6 +230,15 @@ func DefaultConfig(d Design) Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("system: negative shard count %d (0 = plain engine, >= 1 = sharded)", c.Shards)
+	}
+	if c.CoreLanes < 0 {
+		return fmt.Errorf("system: negative core-lane count %d", c.CoreLanes)
+	}
+	if c.CoreLanes > 0 && c.Shards == 0 {
+		return fmt.Errorf("system: CoreLanes=%d requires a sharded engine (set Shards >= 1)", c.CoreLanes)
+	}
 	if err := c.CPU.Validate(); err != nil {
 		return err
 	}
@@ -169,10 +275,20 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg, _ = cfg.Normalize()
 	eng := sim.New()
 	if cfg.Shards >= 1 {
-		eng = sim.NewSharded(cfg.Shards)
+		var err error
+		eng, err = sim.NewShardedTopology(cfg.Shards, cfg.Topology())
+		if err != nil {
+			return nil, fmt.Errorf("system: building lane topology: %w", err)
+		}
 	}
+	// The CPU claims its core lanes by topology name; the classification
+	// floor mirrors the core lanes' crossing-edge latency (see
+	// CoreLaneLookahead).
+	cfg.CPU.Lanes = cfg.CoreLanes
+	cfg.CPU.LaneLocalFloor = cfg.CoreLaneLookahead()
 	ms, err := memsys.New(eng, cfg.Mem)
 	if err != nil {
 		return nil, err

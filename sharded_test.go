@@ -1,13 +1,17 @@
 // Cross-shard invariant tests: a sharded machine must be indistinguishable
-// from a serial one in everything but wall-clock time. The DDR4 channels
-// only interact with the rest of the machine at request enqueue/complete
-// boundaries, and the sharded engine fires every such crossing serially at
-// its frontier, so the command stream each channel issues — and every
-// metric derived from it — must be byte-identical across shard counts.
+// from a serial one in everything but wall-clock time, at every point of
+// its lane topology. The DDR4 channels only interact with the rest of the
+// machine at request enqueue/complete boundaries, CPU cores only through
+// the LLC and the scheduler quantum, and the sharded engine fires every
+// such crossing serially at its frontier, so the command stream each
+// channel issues — and every metric derived from it — must be
+// byte-identical across shard counts AND across core-lane counts,
+// including combined channel x core topologies.
 package pimmmu_test
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -17,47 +21,79 @@ import (
 	"repro/internal/trace"
 )
 
-// shardCounts is the shard axis every invariant is checked across: the
-// plain serial engine (0), the sharded queue executed serially (1), and
-// two- and four-worker sharded execution. Shard counts >= 1 are identical
-// by construction; including 0 additionally pins that the sharded engine
-// reproduces the plain engine bit for bit on these workloads.
-var shardCounts = []int{0, 1, 2, 4}
+// laneTopo is one point of the lane-topology axis.
+type laneTopo struct{ shards, coreLanes int }
 
-// shardedCounts is the axis for workloads where the plain engine's
-// same-instant tie order differs benignly from the sharded canonical
-// order (see system.Config.Shards); the serial reference is one shard.
-var shardedCounts = []int{1, 2, 4}
+func (lt laneTopo) String() string {
+	return fmt.Sprintf("shards=%d,core-lanes=%d", lt.shards, lt.coreLanes)
+}
+
+// laneTopos is the topology axis every invariant is checked across: the
+// plain serial engine (0,0); the sharded queue executed serially with
+// core-lane counts 0/1/2/4 (per the acceptance contract, including
+// lane-sharing partitions of the 8 cores); and combined channel x core
+// window execution at 2 and 4 workers up to one lane per core. The
+// first entry is the reference; everything after must match it bit for
+// bit.
+var laneTopos = []laneTopo{
+	{0, 0},
+	{1, 0},
+	{1, 1},
+	{1, 2},
+	{1, 4},
+	{2, 2},
+	{2, 4},
+	{4, 8},
+}
+
+// shardCounts is the legacy shard-only axis kept for workloads where the
+// core-lane dimension is redundant (no CPU threads run at all).
+var shardCounts = []int{0, 1, 2, 4}
 
 // TestShardedCommandStreamIdentical pins the tentpole's hard requirement:
 // the full per-channel DDR4 command stream of a transfer (the golden-test
-// rendering) is byte-identical between the serial engine and sharded
-// engines at 2 and 4 shards, for both the software-baseline and the
-// PIM-MMU design.
+// rendering) is byte-identical between the plain engine and every lane
+// topology — shard counts, core-lane counts, and combinations — for both
+// the software-baseline (CPU-thread-heavy) and the PIM-MMU design.
 func TestShardedCommandStreamIdentical(t *testing.T) {
 	for _, d := range []system.Design{system.Base, system.PIMMMU} {
-		want := commandStream(d, 0)
-		for _, shards := range shardCounts[1:] {
-			if got := commandStream(d, shards); got != want {
-				t.Errorf("%v: command stream diverged at %d shards\n--- serial ---\n%s--- %d shards ---\n%s",
-					d, shards, want, shards, got)
+		want := commandStream(d, laneTopos[0].shards, laneTopos[0].coreLanes)
+		for _, lt := range laneTopos[1:] {
+			if got := commandStream(d, lt.shards, lt.coreLanes); got != want {
+				t.Errorf("%v: command stream diverged at %v\n--- serial ---\n%s--- %v ---\n%s",
+					d, lt, want, lt, got)
 			}
 		}
 	}
 }
 
+// TestContendedStreamLaneTopologyIdentical is the Fig. 13-style
+// counterpart: the contender-heavy command stream (spin + memory-hog
+// threads co-located with a software transfer — the workload per-core
+// lanes exist for) must render byte-identically at every lane topology.
+func TestContendedStreamLaneTopologyIdentical(t *testing.T) {
+	want := contendedStream(laneTopos[0].shards, laneTopos[0].coreLanes)
+	for _, lt := range laneTopos[1:] {
+		if got := contendedStream(lt.shards, lt.coreLanes); got != want {
+			t.Errorf("contended stream diverged at %v\n--- serial ---\n%s--- %v ---\n%s",
+				lt, want, lt, got)
+		}
+	}
+}
+
 // TestShardedReplayResultIdentical replays one synthetic trace on machines
-// at every shard count and requires the full trace.Result — counts, bytes,
-// timestamps, latency sum and histogram, backpressure metrics — to match
-// field for field.
+// at every lane topology and requires the full trace.Result — counts,
+// bytes, timestamps, latency sum and histogram, backpressure metrics — to
+// match field for field.
 func TestShardedReplayResultIdentical(t *testing.T) {
 	gen := trace.DefaultGenConfig()
 	gen.Records = 1 << 11
 	gen.FootprintLines = 1 << 14
-	results := make([]trace.Result, len(shardCounts))
-	for i, shards := range shardCounts {
+	results := make([]trace.Result, len(laneTopos))
+	for i, lt := range laneTopos {
 		cfg := system.DefaultConfig(system.PIMMMU)
-		cfg.Shards = shards
+		cfg.Shards = lt.shards
+		cfg.CoreLanes = lt.coreLanes
 		s := system.MustNew(cfg)
 		g := gen
 		g.Base = s.Alloc(g.FootprintBytes(trace.PatternMixed))
@@ -68,16 +104,16 @@ func TestShardedReplayResultIdentical(t *testing.T) {
 		}
 		results[i] = r
 	}
-	for i, shards := range shardCounts[1:] {
+	for i, lt := range laneTopos[1:] {
 		if !reflect.DeepEqual(results[i+1], results[0]) {
-			t.Errorf("trace.Result diverged at %d shards:\nserial: %+v\nsharded: %+v",
-				shards, results[0], results[i+1])
+			t.Errorf("trace.Result diverged at %v:\nserial: %+v\nsharded: %+v",
+				lt, results[0], results[i+1])
 		}
 	}
 }
 
 // TestShardedTransferMetricsIdentical runs a mid-size DCE transfer at
-// every shard count and compares the transfer result plus the aggregate
+// every lane topology and compares the transfer result plus the aggregate
 // channel statistics on both device sets.
 func TestShardedTransferMetricsIdentical(t *testing.T) {
 	type snapshot struct {
@@ -91,9 +127,10 @@ func TestShardedTransferMetricsIdentical(t *testing.T) {
 		pimChannelRowHits    []uint64
 		pimChannelQueueFulls []uint64
 	}
-	run := func(shards int) snapshot {
+	run := func(lt laneTopo) snapshot {
 		cfg := system.DefaultConfig(system.PIMMMU)
-		cfg.Shards = shards
+		cfg.Shards = lt.shards
+		cfg.CoreLanes = lt.coreLanes
 		s := system.MustNew(cfg)
 		per := (1 << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
 		res := s.RunTransfer(s.TransferOp(0, s.Cfg.PIM.NumCores(), per))
@@ -113,40 +150,43 @@ func TestShardedTransferMetricsIdentical(t *testing.T) {
 		}
 		return snap
 	}
-	want := run(0)
-	for _, shards := range shardCounts[1:] {
-		if got := run(shards); !reflect.DeepEqual(got, want) {
-			t.Errorf("transfer metrics diverged at %d shards:\nserial:  %+v\nsharded: %+v",
-				shards, want, got)
+	want := run(laneTopos[0])
+	for _, lt := range laneTopos[1:] {
+		if got := run(lt); !reflect.DeepEqual(got, want) {
+			t.Errorf("transfer metrics diverged at %v:\nserial:  %+v\nsharded: %+v",
+				lt, want, got)
 		}
 	}
 }
 
 // TestShardedExperimentOutputIdentical renders one full harness experiment
-// (the replay table: six workloads x two designs, through the sweep
-// machinery) serially and sharded; the printed artifact must not change.
+// serially and sharded (with core lanes); the printed artifact must not
+// change.
 func TestShardedExperimentOutputIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment render in -short mode")
 	}
-	render := func(shards int) string {
+	render := func(shards, coreLanes int) string {
 		harness.SetShards(shards)
+		harness.SetCoreLanes(coreLanes)
 		defer harness.SetShards(0)
+		defer harness.SetCoreLanes(0)
 		var b bytes.Buffer
 		harness.Fig8(&b, harness.Quick)
 		return b.String()
 	}
-	want := render(1)
-	for _, shards := range shardedCounts[1:] {
-		if got := render(shards); got != want {
-			t.Errorf("fig8 output diverged at %d shards\n--- serial ---\n%s--- %d shards ---\n%s",
-				shards, want, shards, got)
+	want := render(1, 0)
+	for _, lt := range []laneTopo{{2, 0}, {2, 4}, {4, 8}} {
+		if got := render(lt.shards, lt.coreLanes); got != want {
+			t.Errorf("fig8 output diverged at %v\n--- serial ---\n%s--- %v ---\n%s",
+				lt, want, lt, got)
 		}
 	}
 }
 
 // TestShardedPIMRegionReplay exercises the non-cacheable PIM-region path
-// (no LLC in front of the channels) across shard counts.
+// (no LLC in front of the channels) across shard counts; no CPU threads
+// run, so the core-lane axis is redundant here.
 func TestShardedPIMRegionReplay(t *testing.T) {
 	gen := trace.DefaultGenConfig()
 	gen.Records = 1 << 10
