@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-slow bench
+.PHONY: check fmt vet build test test-slow bench bench-compare
 
 # The tier-1 gate: formatting, static checks, build, tests.
 check: fmt vet build test
@@ -29,8 +29,24 @@ test-slow:
 # One iteration of every paper-figure benchmark plus the scheduler
 # micro-benchmarks and the sharded-engine speedup comparisons (the
 # multi-channel posted-write stream and the multi-contender core-lane
-# workload), captured as test2json streams for trend tracking.
+# workload), captured as test2json streams for trend tracking. Captures
+# are written to a temp file and renamed only on success, so a failing
+# benchmark run cannot clobber the previous (committed) capture with a
+# partial stream.
 bench:
-	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x . > BENCH_figs.json
-	$(GO) test -json -run '^$$' -bench=Engine -benchmem ./internal/sim ./internal/dram ./internal/system > BENCH_engine.json
+	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x . > BENCH_figs.json.tmp
+	$(GO) test -json -run '^$$' -bench=Engine -benchmem ./internal/sim ./internal/dram ./internal/system > BENCH_engine.json.tmp
+	mv BENCH_figs.json.tmp BENCH_figs.json
+	mv BENCH_engine.json.tmp BENCH_engine.json
 	@echo "wrote BENCH_figs.json and BENCH_engine.json"
+
+# Regenerate the captures and gate the engine benchmarks against the
+# committed baselines: >20% ns/op regression, any allocation on a
+# baseline-allocation-free path, or a vanished benchmark fails (see
+# cmd/pimmu-benchdiff). The baseline is read from git so the fresh run
+# cannot compare against itself.
+bench-compare:
+	git show HEAD:BENCH_engine.json > BENCH_engine.baseline.tmp
+	$(MAKE) bench || { rm -f BENCH_engine.baseline.tmp; exit 1; }
+	$(GO) run ./cmd/pimmu-benchdiff BENCH_engine.baseline.tmp BENCH_engine.json; \
+		status=$$?; rm -f BENCH_engine.baseline.tmp; exit $$status

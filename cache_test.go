@@ -1,0 +1,246 @@
+// Result-cache correctness tests: a cache-hit rerun of an experiment
+// must be byte-identical to a cold run — across worker counts and
+// shard/core-lane topologies — and the cache must reject (and silently
+// recompute past) corrupt, truncated and wrong-code-version entries.
+// These are the properties that make caching sound on top of the
+// determinism contract the rest of this suite pins.
+package pimmmu_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/resultcache"
+	"repro/internal/sweep"
+)
+
+// cachedExperiments are the tier-1 representatives: fig8 caches plain
+// floats; replay caches a struct carrying a latency histogram, covering
+// the structured-payload round trip. The slow tier's experiment-wide
+// audits extend byte-identity to every experiment uncached.
+var cachedExperiments = []string{"fig8", "replay"}
+
+// renderWith renders one experiment with the given sweep/topology
+// settings, restoring process-wide state afterwards.
+func renderWith(t *testing.T, name string, workers, shards, coreLanes int) []byte {
+	t.Helper()
+	e, ok := harness.ByName(name)
+	if !ok {
+		t.Fatalf("unknown experiment %q", name)
+	}
+	sweep.SetWorkers(workers)
+	harness.SetShards(shards)
+	harness.SetCoreLanes(coreLanes)
+	defer sweep.SetWorkers(0)
+	defer harness.SetShards(0)
+	defer harness.SetCoreLanes(0)
+	var b bytes.Buffer
+	e.Run(&b, harness.Quick)
+	return b.Bytes()
+}
+
+// openCache builds a fresh rw store over dir and installs it in the
+// harness for the duration of the test.
+func openCache(t *testing.T, dir string, mode resultcache.Mode) *resultcache.Store {
+	t.Helper()
+	store, err := resultcache.Open(dir, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harness.SetCache(store)
+	t.Cleanup(func() { harness.SetCache(nil) })
+	return store
+}
+
+// pinVersion makes the code-version stamp deterministic for one test.
+func pinVersion(t *testing.T, v string) {
+	t.Helper()
+	resultcache.SetCodeVersion(v)
+	t.Cleanup(func() { resultcache.SetCodeVersion("") })
+}
+
+// TestCacheHitRerunByteIdentical is the acceptance property: with a warm
+// cache, a rerun serves every job from disk (hits == job count) and the
+// rendered tables are byte-identical to the cold run, at every worker
+// count.
+func TestCacheHitRerunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	for _, name := range cachedExperiments {
+		t.Run(name, func(t *testing.T) {
+			pinVersion(t, "cache-test-v1")
+			store := openCache(t, t.TempDir(), resultcache.ReadWrite)
+			cold := renderWith(t, name, 1, 0, 0)
+			st := store.Stats()
+			if st.Hits != 0 || st.Misses == 0 || st.Stores != st.Misses {
+				t.Fatalf("cold-run stats: %+v", st)
+			}
+			jobs := st.Misses
+			for _, workers := range []int{1, 4, 8} {
+				before := store.Stats()
+				warm := renderWith(t, name, workers, 0, 0)
+				if !bytes.Equal(cold, warm) {
+					t.Fatalf("workers=%d: warm run differs from cold\n--- cold ---\n%s--- warm ---\n%s",
+						workers, cold, warm)
+				}
+				d := store.Stats().Sub(before)
+				if d.Hits != jobs || d.Misses != 0 {
+					t.Fatalf("workers=%d: warm-run delta %+v, want %d hits", workers, d, jobs)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheTopologyChangesDoNotAlias proves no cross-topology aliasing:
+// the lane-topology fields are part of the fingerprint, so a sharded
+// rerun recomputes rather than reusing plain-engine entries — and still
+// renders the identical artifact (the cross-shard invariant pinned by
+// sharded_test.go).
+func TestCacheTopologyChangesDoNotAlias(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	pinVersion(t, "cache-test-v1")
+	store := openCache(t, t.TempDir(), resultcache.ReadWrite)
+	// The serial sharded engine (shards=1) is the reference: output is
+	// byte-identical across every topology with shards >= 1. (The plain
+	// engine is its own fingerprint too, but fig8 is a CPU-streaming
+	// workload where it legitimately orders same-instant ties
+	// differently — see system.Config.Shards — so it is not the
+	// comparison base here.)
+	serial := renderWith(t, "fig8", 4, 1, 0)
+	jobs := store.Stats().Misses
+	for _, topo := range []struct{ shards, coreLanes int }{{0, 0}, {2, 4}} {
+		before := store.Stats()
+		got := renderWith(t, "fig8", 4, topo.shards, topo.coreLanes)
+		if topo.shards >= 1 && !bytes.Equal(serial, got) {
+			t.Fatalf("shards=%d core-lanes=%d: output diverged from serial sharded engine",
+				topo.shards, topo.coreLanes)
+		}
+		d := store.Stats().Sub(before)
+		if d.Hits != 0 || d.Misses != jobs {
+			t.Fatalf("shards=%d core-lanes=%d: delta %+v, want %d fresh misses",
+				topo.shards, topo.coreLanes, d, jobs)
+		}
+	}
+	// The original topology's entries are still intact.
+	before := store.Stats()
+	if warm := renderWith(t, "fig8", 4, 1, 0); !bytes.Equal(serial, warm) {
+		t.Fatal("serial-sharded rerun no longer matches")
+	}
+	if d := store.Stats().Sub(before); d.Hits != jobs {
+		t.Fatalf("serial-sharded entries lost: %+v", d)
+	}
+}
+
+// TestCacheCorruptEntriesRecomputed damages every stored entry —
+// truncation, bit flips, emptying — and requires the rerun to reject
+// them all, recompute, repair the files, and still render the cold
+// artifact byte for byte.
+func TestCacheCorruptEntriesRecomputed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	pinVersion(t, "cache-test-v1")
+	dir := t.TempDir()
+	store := openCache(t, dir, resultcache.ReadWrite)
+	cold := renderWith(t, "fig8", 2, 0, 0)
+	entries, err := filepath.Glob(filepath.Join(dir, "*.prc"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written: %v (%v)", entries, err)
+	}
+	for i, path := range entries {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 0: // truncate mid-payload
+			data = data[:len(data)/2]
+		case 1: // flip a payload bit
+			data[len(data)-8] ^= 1
+		case 2: // empty file
+			data = nil
+		}
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := store.Stats()
+	warm := renderWith(t, "fig8", 2, 0, 0)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("recomputed run differs from cold\n--- cold ---\n%s--- recomputed ---\n%s", cold, warm)
+	}
+	d := store.Stats().Sub(before)
+	if d.Hits != 0 || d.Rejected != uint64(len(entries)) || d.Stores != uint64(len(entries)) {
+		t.Fatalf("corruption delta %+v, want %d rejections and repairs", d, len(entries))
+	}
+	// The repaired entries hit again.
+	before = store.Stats()
+	renderWith(t, "fig8", 2, 0, 0)
+	if d := store.Stats().Sub(before); d.Hits != uint64(len(entries)) || d.Misses != 0 {
+		t.Fatalf("repair did not stick: %+v", d)
+	}
+}
+
+// TestCacheCodeVersionChangeForcesMiss proves the second half of the
+// acceptance criterion: a code-version change alone — same config, same
+// op — invalidates every entry.
+func TestCacheCodeVersionChangeForcesMiss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	pinVersion(t, "build-A")
+	store := openCache(t, t.TempDir(), resultcache.ReadWrite)
+	cold := renderWith(t, "fig8", 2, 0, 0)
+	jobs := store.Stats().Misses
+	resultcache.SetCodeVersion("build-B")
+	before := store.Stats()
+	if got := renderWith(t, "fig8", 2, 0, 0); !bytes.Equal(cold, got) {
+		t.Fatal("same-code rerun under a new stamp changed output")
+	}
+	if d := store.Stats().Sub(before); d.Hits != 0 || d.Misses != jobs {
+		t.Fatalf("new code version delta %+v, want %d misses", d, jobs)
+	}
+	// Flipping back, the original entries still hit: distinct versions
+	// coexist in one directory without clobbering each other's keys.
+	resultcache.SetCodeVersion("build-A")
+	before = store.Stats()
+	renderWith(t, "fig8", 2, 0, 0)
+	if d := store.Stats().Sub(before); d.Hits != jobs {
+		t.Fatalf("original version's entries lost: %+v", d)
+	}
+}
+
+// TestCacheReadOnlySharing exercises -cache ro: hits serve, misses
+// recompute, and nothing is ever written.
+func TestCacheReadOnlySharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	pinVersion(t, "cache-test-v1")
+	dir := t.TempDir()
+	// Warm half the cache in rw mode, then reopen read-only.
+	openCache(t, dir, resultcache.ReadWrite)
+	cold := renderWith(t, "fig8", 2, 0, 0)
+	ro := openCache(t, dir, resultcache.ReadOnly)
+	if got := renderWith(t, "fig8", 2, 0, 0); !bytes.Equal(cold, got) {
+		t.Fatal("read-only warm run differs")
+	}
+	st := ro.Stats()
+	if st.Hits == 0 || st.Stores != 0 || st.BytesWritten != 0 {
+		t.Fatalf("read-only stats %+v", st)
+	}
+	// A different experiment misses and recomputes without writing.
+	before := ro.Stats()
+	renderWith(t, "replay", 2, 0, 0)
+	d := ro.Stats().Sub(before)
+	if d.Misses == 0 || d.Stores != 0 {
+		t.Fatalf("read-only miss path delta %+v", d)
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCapture stores a capture file; test2json form when json is true.
+func writeCapture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{"Action":"start","Package":"repro/internal/sim"}
+{"Action":"output","Package":"repro/internal/sim","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro/internal/sim","Output":"BenchmarkEngineFast    \t"}
+{"Action":"output","Package":"repro/internal/sim","Output":"1000\t        10.0 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"repro/internal/sim","Output":"BenchmarkEngineSetup-8 \t100\t  1000 ns/op\t  640 B/op\t    100 allocs/op\n"}
+`
+
+func TestReadCaptureSplitOutputAndSuffix(t *testing.T) {
+	res, err := readCapture(writeCapture(t, "base.json", baselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, ok := res["repro/internal/sim/BenchmarkEngineFast"]
+	if !ok || fast.NsPerOp != 10 || fast.AllocsPerOp != 0 || !fast.HasAllocs {
+		t.Fatalf("split-output result = %+v, %v", fast, ok)
+	}
+	// The -8 GOMAXPROCS suffix is stripped so captures align across
+	// machines.
+	setup, ok := res["repro/internal/sim/BenchmarkEngineSetup"]
+	if !ok || setup.NsPerOp != 1000 || setup.AllocsPerOp != 100 {
+		t.Fatalf("suffixed result = %+v, %v", setup, ok)
+	}
+}
+
+func TestReadCapturePlainText(t *testing.T) {
+	res, err := readCapture(writeCapture(t, "plain.txt",
+		"goos: linux\nBenchmarkEngineX-4   500   20.5 ns/op   0 B/op   0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := res["/BenchmarkEngineX"]; !ok || r.NsPerOp != 20.5 {
+		t.Fatalf("plain-text result = %+v, %v", r, ok)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := map[string]result{
+		"p/BenchmarkZeroAlloc": {NsPerOp: 10, AllocsPerOp: 0, HasAllocs: true},
+		"p/BenchmarkSetup":     {NsPerOp: 1000, AllocsPerOp: 100, HasAllocs: true},
+	}
+	cases := []struct {
+		name string
+		niu  map[string]result
+		fail bool
+	}{
+		{"identical", base, false},
+		{"within limits", map[string]result{
+			"p/BenchmarkZeroAlloc": {NsPerOp: 11.5, AllocsPerOp: 0, HasAllocs: true},
+			"p/BenchmarkSetup":     {NsPerOp: 1100, AllocsPerOp: 105, HasAllocs: true},
+		}, false},
+		{"time regression", map[string]result{
+			"p/BenchmarkZeroAlloc": {NsPerOp: 13, AllocsPerOp: 0, HasAllocs: true},
+			"p/BenchmarkSetup":     base["p/BenchmarkSetup"],
+		}, true},
+		{"new allocation on zero-alloc path", map[string]result{
+			"p/BenchmarkZeroAlloc": {NsPerOp: 10, AllocsPerOp: 1, HasAllocs: true},
+			"p/BenchmarkSetup":     base["p/BenchmarkSetup"],
+		}, true},
+		{"alloc growth past limit", map[string]result{
+			"p/BenchmarkZeroAlloc": base["p/BenchmarkZeroAlloc"],
+			"p/BenchmarkSetup":     {NsPerOp: 1000, AllocsPerOp: 120, HasAllocs: true},
+		}, true},
+		{"vanished benchmark", map[string]result{
+			"p/BenchmarkZeroAlloc": base["p/BenchmarkZeroAlloc"],
+		}, true},
+	}
+	for _, tc := range cases {
+		if got := compare(base, tc.niu, 20, 10); got != tc.fail {
+			t.Errorf("%s: compare failed=%v, want %v", tc.name, got, tc.fail)
+		}
+	}
+	// Disabling the time gate admits any slowdown but still enforces
+	// allocation-freedom.
+	slow := map[string]result{
+		"p/BenchmarkZeroAlloc": {NsPerOp: 100, AllocsPerOp: 0, HasAllocs: true},
+		"p/BenchmarkSetup":     {NsPerOp: 99999, AllocsPerOp: 100, HasAllocs: true},
+	}
+	if compare(base, slow, 0, 10) {
+		t.Error("disabled time gate still failed on slowdown")
+	}
+}

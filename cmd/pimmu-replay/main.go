@@ -6,7 +6,7 @@
 //	pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
 //	pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
 //	pimmu-replay inspect [-n N] FILE
-//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-core-lanes N] [-inflight N] [-noncacheable] FILE
+//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-core-lanes N] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
 //
 // record captures every request a transfer presents to the memory port
 // of the chosen design; gen synthesizes one of the built-in application
@@ -21,15 +21,26 @@
 // conservative parallel windows; 0, the default serial engine, can break
 // same-instant event ties differently on some workloads — see
 // system.Config.Shards).
+//
+// replay's -cache-dir enables the content-addressed result cache: each
+// (machine fingerprint, trace identity, replay config, code version)
+// result is served from disk when already computed. The trace identity
+// is a digest of the canonical binary encoding of the records, so the
+// same workload hits whether it was stored as text or binary, and any
+// record change forces a recompute. The report is byte-identical warm or
+// cold; the hit/miss summary goes to stderr.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/resultcache"
 	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -69,7 +80,7 @@ func usage() {
   pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
   pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
   pimmu-replay inspect [-n N] FILE
-  pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-core-lanes N] [-inflight N] [-noncacheable] FILE
+  pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-core-lanes N] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
 `)
 }
 
@@ -193,6 +204,8 @@ func cmdReplay(args []string) error {
 	coreLanes := fs.Int("core-lanes", 0, "per-core event lanes per machine (requires -shards >= 1)")
 	inflight := fs.Int("inflight", 64, "max outstanding line requests")
 	noncache := fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region records")
+	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = caching off)")
+	cacheMode := fs.String("cache", "rw", "result-cache mode: off, rw, or ro")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay: want exactly one trace file")
@@ -204,6 +217,10 @@ func cmdReplay(args []string) error {
 	for _, w := range warns {
 		fmt.Fprintf(os.Stderr, "pimmu-replay: warning: %s\n", w)
 	}
+	store, err := resultcache.OpenFlags(*cacheDir, *cacheMode)
+	if err != nil {
+		return err
+	}
 	recs, rerr := trace.ReadFile(fs.Arg(0))
 	if rerr != nil {
 		return rerr
@@ -212,10 +229,38 @@ func cmdReplay(args []string) error {
 	cfg.MaxInFlight = *inflight
 	cfg.Cacheable = !*noncache
 	sweep.SetWorkers(*workers)
+	defer func() {
+		if store != nil {
+			fmt.Fprintf(os.Stderr, "pimmu-replay: cache: %v\n", store.Stats())
+		}
+	}()
+	// The trace identity digests the records' canonical binary encoding,
+	// so a key is independent of the on-disk trace form but tied to every
+	// record.
+	traceID := ""
+	if store != nil {
+		traceID, err = traceIdentity(recs)
+		if err != nil {
+			return err
+		}
+	}
+	key := func(d system.Design) string {
+		scfg := system.DefaultConfig(d)
+		scfg.Shards = sh
+		scfg.CoreLanes = cl
+		return resultcache.KeyOf("pimmu-replay/v1", resultcache.CodeVersion(),
+			scfg.Fingerprint(), traceID, string(resultcache.Canonical(cfg)))
+	}
+	var cache sweep.Cache
+	if store != nil {
+		cache = store
+	}
 
 	if *designFlag == "all" {
 		designs := system.Designs()
-		results := sweep.Map(len(designs), func(i int) trace.Result {
+		results := sweep.MapCached(cache, len(designs), func(i int) string {
+			return key(designs[i])
+		}, func(i int) trace.Result {
 			return replayOn(designs[i], sh, cl, recs, cfg)
 		})
 		fmt.Printf("%d records, max %d in flight\n\n", len(recs), cfg.MaxInFlight)
@@ -236,7 +281,9 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := replayOn(design, sh, cl, recs, cfg)
+	r := sweep.MapCached(cache, 1, func(int) string { return key(design) }, func(int) trace.Result {
+		return replayOn(design, sh, cl, recs, cfg)
+	})[0]
 	fmt.Printf("design     %v\n", design)
 	fmt.Printf("records    %d (%d line requests)\n", len(recs), r.Issued)
 	fmt.Printf("bytes      %d read, %d written\n", r.BytesRead, r.BytesWritten)
@@ -246,6 +293,15 @@ func cmdReplay(args []string) error {
 		r.AvgLatency(), r.Latency.P50(), r.Latency.P95(), r.Latency.P99())
 	fmt.Printf("pressure   %d retries, %v max slip behind the trace clock\n", r.Retries, r.Slip)
 	return nil
+}
+
+// traceIdentity digests the records' canonical binary encoding.
+func traceIdentity(recs []trace.Record) (string, error) {
+	h := sha256.New()
+	if err := trace.Encode(h, recs); err != nil {
+		return "", fmt.Errorf("replay: fingerprinting trace: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // replayOn replays recs on a fresh machine of the given design, with the

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N] [-core-lanes N]
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N] [-core-lanes N] [-cache-dir DIR] [-cache off|rw|ro]
 //
 // -workers parallelizes across independent design-point machines;
 // -shards parallelizes inside each machine, running its lane topology —
@@ -16,6 +16,12 @@
 // across all counts >= 1, and of -core-lanes across every count (0 can
 // break same-instant event ties differently on some workloads; see
 // system.Config.Shards).
+//
+// -cache-dir enables the content-addressed result cache: each design
+// point's measurement is keyed on (config fingerprint, direction, size,
+// code version) and served from disk when already computed, so warm
+// reruns print byte-identical reports without simulating. A hit/miss
+// summary goes to stderr; stdout stays identical warm or cold.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/resultcache"
 	"repro/internal/sweep"
 	"repro/internal/system"
 )
@@ -36,6 +43,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
 	coreLanes := flag.Int("core-lanes", 0, "per-core event lanes per machine (requires -shards >= 1)")
+	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = caching off)")
+	cacheMode := flag.String("cache", "rw", "result-cache mode: off, rw, or ro")
 	flag.Parse()
 	sweep.SetWorkers(*workers)
 	var warns []string
@@ -48,6 +57,11 @@ func main() {
 	for _, w := range warns {
 		fmt.Fprintf(os.Stderr, "pimmu-sim: warning: %s\n", w)
 	}
+	cacheStore, err = resultcache.OpenFlags(*cacheDir, *cacheMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
+		os.Exit(2)
+	}
 
 	dir := core.DRAMToPIM
 	if *dirFlag == "from" {
@@ -59,50 +73,101 @@ func main() {
 
 	if *designFlag == "all" {
 		runAll(dir, *mb)
-		return
+	} else {
+		design, err := system.ParseDesign(*designFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
+			os.Exit(2)
+		}
+		runOne(design, dir, *mb)
 	}
-
-	design, err := system.ParseDesign(*designFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
-		os.Exit(2)
+	if cacheStore != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: cache: %v\n", cacheStore.Stats())
 	}
-	runOne(design, dir, *mb)
 }
 
 // engineShards/engineCoreLanes are the -shards/-core-lanes selections
 // applied to every machine built.
 var engineShards, engineCoreLanes int
 
-// measurement is one design point's transfer outcome.
+// cacheStore is the -cache-dir result cache (nil = off).
+var cacheStore *resultcache.Store
+
+// sweepCache adapts the store to sweep.Cache; a nil store must become a
+// nil interface, not an interface wrapping nil.
+func sweepCache() sweep.Cache {
+	if cacheStore == nil {
+		return nil
+	}
+	return cacheStore
+}
+
+// channelStat is the per-PIM-channel slice of a measurement that the
+// single-design report prints.
+type channelStat struct {
+	BytesWritten uint64
+	RowHitRate   float64
+}
+
+// measurement is one design point's transfer outcome — pure data, so it
+// round-trips through the result cache; everything the reports print is
+// captured here, not held in a live *system.System.
 type measurement struct {
-	sys    *system.System
-	res    system.XferResult
-	energy energy.Breakdown
+	Res    system.XferResult
+	Energy energy.Breakdown
+
+	DRAMRead, DRAMWritten uint64
+	PIMRead, PIMWritten   uint64
+	PIMCh                 []channelStat
+}
+
+// measureConfig is the machine configuration of one measurement.
+func measureConfig(design system.Design) system.Config {
+	cfg := system.DefaultConfig(design)
+	cfg.Shards = engineShards
+	cfg.CoreLanes = engineCoreLanes
+	return cfg
+}
+
+// measureKey is the content-addressed cache key of one measurement.
+func measureKey(design system.Design, dir core.Direction, mb uint64) string {
+	return resultcache.KeyOf("pimmu-sim/v1", resultcache.CodeVersion(),
+		measureConfig(design).Fingerprint(), fmt.Sprintf("xfer dir=%v mb=%d", dir, mb))
 }
 
 // measure runs one transfer on a fresh machine.
 func measure(design system.Design, dir core.Direction, mb uint64) measurement {
-	cfg := system.DefaultConfig(design)
-	cfg.Shards = engineShards
-	cfg.CoreLanes = engineCoreLanes
-	s := system.MustNew(cfg)
+	s := system.MustNew(measureConfig(design))
 	per := (mb << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
 	if per < 64 {
 		per = 64
 	}
 	before := s.Activity()
 	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
-	return measurement{sys: s, res: res, energy: s.EnergyOver(before, s.Activity())}
+	m := measurement{Res: res, Energy: s.EnergyOver(before, s.Activity())}
+	ds, ps := s.Mem.DRAM.Stats(), s.Mem.PIM.Stats()
+	m.DRAMRead, m.DRAMWritten = ds.BytesRead(), ds.BytesWritten()
+	m.PIMRead, m.PIMWritten = ps.BytesRead(), ps.BytesWritten()
+	for _, c := range ps.Channels {
+		m.PIMCh = append(m.PIMCh, channelStat{BytesWritten: c.BytesWritten, RowHitRate: c.RowHitRate()})
+	}
+	return m
+}
+
+// measureCached is measure behind the result cache.
+func measureCached(designs []system.Design, dir core.Direction, mb uint64) []measurement {
+	return sweep.MapCached(sweepCache(), len(designs), func(i int) string {
+		return measureKey(designs[i], dir, mb)
+	}, func(i int) measurement {
+		return measure(designs[i], dir, mb)
+	})
 }
 
 // runAll sweeps the four design points in parallel and prints the
 // Fig. 15-style comparison.
 func runAll(dir core.Direction, mb uint64) {
 	designs := system.Designs()
-	ms := sweep.Map(len(designs), func(i int) measurement {
-		return measure(designs[i], dir, mb)
-	})
+	ms := measureCached(designs, dir, mb)
 	fmt.Printf("direction   %v, %d MiB per design point\n\n", dir, mb)
 	fmt.Printf("%-12s %12s %12s %12s %12s\n",
 		"design", "GB/s", "vs Base", "energy (J)", "MB/J")
@@ -110,17 +175,17 @@ func runAll(dir core.Direction, mb uint64) {
 	for i, d := range designs {
 		m := ms[i]
 		fmt.Printf("%-12v %12.2f %11.2fx %12.4f %12.1f\n",
-			d, m.res.Throughput()/1e9,
-			m.res.Throughput()/base.res.Throughput(),
-			m.energy.Total(),
-			energy.EfficiencyBytesPerJoule(m.res.Bytes, m.energy)/1e6)
+			d, m.Res.Throughput()/1e9,
+			m.Res.Throughput()/base.Res.Throughput(),
+			m.Energy.Total(),
+			energy.EfficiencyBytesPerJoule(m.Res.Bytes, m.Energy)/1e6)
 	}
 }
 
 // runOne prints the detailed single-design report.
 func runOne(design system.Design, dir core.Direction, mb uint64) {
-	m := measure(design, dir, mb)
-	s, res, b := m.sys, m.res, m.energy
+	m := measureCached([]system.Design{design}, dir, mb)[0]
+	res, b := m.Res, m.Energy
 
 	fmt.Printf("design      %v\n", design)
 	fmt.Printf("direction   %v\n", dir)
@@ -130,11 +195,10 @@ func runOne(design system.Design, dir core.Direction, mb uint64) {
 	fmt.Printf("energy      %.4f J (%.0f%% static)\n", b.Total(), 100*b.Static()/b.Total())
 	fmt.Printf("efficiency  %.1f MB/J\n", energy.EfficiencyBytesPerJoule(res.Bytes, b)/1e6)
 
-	ds, ps := s.Mem.DRAM.Stats(), s.Mem.PIM.Stats()
-	fmt.Printf("DRAM        rd %d MiB, wr %d MiB\n", ds.BytesRead()>>20, ds.BytesWritten()>>20)
-	fmt.Printf("PIM         rd %d MiB, wr %d MiB\n", ps.BytesRead()>>20, ps.BytesWritten()>>20)
-	for i, c := range ps.Channels {
+	fmt.Printf("DRAM        rd %d MiB, wr %d MiB\n", m.DRAMRead>>20, m.DRAMWritten>>20)
+	fmt.Printf("PIM         rd %d MiB, wr %d MiB\n", m.PIMRead>>20, m.PIMWritten>>20)
+	for i, c := range m.PIMCh {
 		fmt.Printf("  pim ch%d   wr %6d KiB  row hits %.1f%%\n",
-			i, c.BytesWritten>>10, 100*c.RowHitRate())
+			i, c.BytesWritten>>10, 100*c.RowHitRate)
 	}
 }

@@ -23,7 +23,13 @@ func Fig16(w io.Writer, sc Scale) {
 	suite := prim.Suite()
 	designs := baseVsMMU
 	g := sweep.NewGrid(len(suite), len(designs))
-	phases := sweep.Map(g.Size(), func(i int) prim.Phase {
+	phases := cachedMap(g.Size(), func(i int) string {
+		// The workload's kernel shape and sizing live in code (prim.Suite),
+		// covered by the key's code-version stamp; the name and scale pin
+		// the point within the suite.
+		return jobKey(newConfig(designs[g.Coord(i, 1)]),
+			fmt.Sprintf("fig16 prim workload=%q scale=%g", suite[g.Coord(i, 0)].Name, scale))
+	}, func(i int) prim.Phase {
 		s := system.MustNew(newConfig(designs[g.Coord(i, 1)]))
 		return prim.RunEndToEnd(s, suite[g.Coord(i, 0)], scale)
 	})

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/energy"
+	"repro/internal/resultcache"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/system"
@@ -40,7 +41,10 @@ func Fig4(w io.Writer, sc Scale) {
 	if sc == Full {
 		size = 256 << 20
 	}
-	sections := sweep.Map(len(bothDirections), func(i int) string {
+	sections := cachedMap(len(bothDirections), func(i int) string {
+		return jobKey(newConfig(system.Base),
+			fmt.Sprintf("fig4 dir=%v bytes=%d window=50us", bothDirections[i], size))
+	}, func(i int) string {
 		dir := bothDirections[i]
 		s := newSystem(system.Base)
 		trace, stop := s.SamplePower(50 * clock.Microsecond)
@@ -81,10 +85,15 @@ func Fig6(w io.Writer, sc Scale) {
 		{system.Base, "a: software coarse-grained DRAM->PIM — one channel at a time"},
 		{system.PIMMMU, "b: hardware fine-grained — even across channels"},
 	}
-	sections := sweep.Map(len(points), func(i int) string {
+	mkCfg := func(i int) system.Config {
 		cfg := newConfig(points[i].design)
 		cfg.Mem.PIM.SeriesWindow = 100 * clock.Microsecond
-		s := system.MustNew(cfg)
+		return cfg
+	}
+	sections := cachedMap(len(points), func(i int) string {
+		return jobKey(mkCfg(i), fmt.Sprintf("fig6 bytes=%d label=%q", size, points[i].label))
+	}, func(i int) string {
+		s := system.MustNew(mkCfg(i))
 		runTransfer(s, core.DRAMToPIM, size)
 		var series []*stats.Series
 		for _, c := range s.Mem.PIM.Stats().Channels {
@@ -131,10 +140,17 @@ func Fig8(w io.Writer, sc Scale) {
 	}{{"sequential", 1}, {"strided (x4)", 4}}
 	designs := baseVsMMU // locality vs HetMap/MLP
 	g := sweep.NewGrid(len(patterns), len(designs))
-	thr := sweep.Map(g.Size(), func(i int) float64 {
-		s := newSystem(designs[g.Coord(i, 1)])
+	mkStream := func(i int) xfer.StreamConfig {
 		cfg := xfer.DefaultStreamConfig()
 		cfg.StrideLines = patterns[g.Coord(i, 0)].stride
+		return cfg
+	}
+	thr := cachedMap(g.Size(), func(i int) string {
+		return jobKey(newConfig(designs[g.Coord(i, 1)]),
+			fmt.Sprintf("fig8 lines=%d stream=%s", lines, resultcache.Canonical(mkStream(i))))
+	}, func(i int) float64 {
+		s := newSystem(designs[g.Coord(i, 1)])
+		cfg := mkStream(i)
 		base := s.Alloc(lines * uint64(cfg.StrideLines) * uint64(cfg.Threads) * 64)
 		var res xfer.Result
 		done := false
@@ -161,7 +177,9 @@ func Fig13a(w io.Writer, sc Scale) {
 	counts := []int{0, 8, 16, 24}
 	designs := baseVsMMU
 	g := sweep.NewGrid(len(counts), len(designs))
-	lat := sweep.Map(g.Size(), func(i int) float64 {
+	lat := cachedMap(g.Size(), func(i int) string {
+		return contendedKey(designs[g.Coord(i, 1)], size, counts[g.Coord(i, 0)], -1)
+	}, func(i int) float64 {
 		return contendedLatency(designs[g.Coord(i, 1)], size, counts[g.Coord(i, 0)], -1)
 	})
 	t := stats.NewTable("spin contenders", "Base (norm. latency)", "PIM-MMU (norm. latency)")
@@ -183,12 +201,19 @@ func Fig13b(w io.Writer, sc Scale) {
 	levels := contend.Levels()
 	designs := baseVsMMU
 	g := sweep.NewGrid(1+len(levels), len(designs))
-	lat := sweep.Map(g.Size(), func(i int) float64 {
-		d := designs[g.Coord(i, 1)]
+	args := func(i int) (d system.Design, n, level int) {
+		d = designs[g.Coord(i, 1)]
 		if row := g.Coord(i, 0); row > 0 {
-			return contendedLatency(d, size, 4, int(levels[row-1]))
+			return d, 4, int(levels[row-1])
 		}
-		return contendedLatency(d, size, 0, -1)
+		return d, 0, -1
+	}
+	lat := cachedMap(g.Size(), func(i int) string {
+		d, n, level := args(i)
+		return contendedKey(d, size, n, level)
+	}, func(i int) float64 {
+		d, n, level := args(i)
+		return contendedLatency(d, size, n, level)
 	})
 	baseIdle, mmuIdle := lat[g.Index(0, 0)], lat[g.Index(0, 1)]
 	t := stats.NewTable("intensity", "Base (norm. latency)", "PIM-MMU (norm. latency)")
@@ -198,6 +223,14 @@ func Fig13b(w io.Writer, sc Scale) {
 	}
 	fmt.Fprint(w, t)
 	fmt.Fprintln(w, "paper shape: both degrade with memory pressure; PIM-MMU consistently lower")
+}
+
+// contendedKey is the cache key of one contendedLatency measurement; the
+// contender programs' footprints and loop shapes are code, covered by the
+// key's code-version stamp.
+func contendedKey(d system.Design, size uint64, n, level int) string {
+	return jobKey(newConfig(d),
+		fmt.Sprintf("fig13 xfer bytes=%d contenders=%d level=%d", size, n, level))
 }
 
 // contendedLatency measures one DRAM->PIM transfer's latency with n
@@ -244,7 +277,7 @@ func Fig14(w io.Writer, sc Scale) {
 	}
 	designs := baseVsMMU
 	g := sweep.NewGrid(len(configs), len(designs))
-	thr := sweep.Map(g.Size(), func(i int) float64 {
+	mkCfg := func(i int) system.Config {
 		c := configs[g.Coord(i, 0)]
 		cfg := newConfig(designs[g.Coord(i, 1)])
 		cfg.Mem.DRAM.Geometry.Channels = c.ch
@@ -253,7 +286,12 @@ func Fig14(w io.Writer, sc Scale) {
 		cfg.Mem.PIM.Geometry.Ranks = c.ra
 		cfg.PIM.DRAM.Channels = c.ch
 		cfg.PIM.DRAM.Ranks = c.ra
-		s := system.MustNew(cfg)
+		return cfg
+	}
+	thr := cachedMap(g.Size(), func(i int) string {
+		return jobKey(mkCfg(i), fmt.Sprintf("fig14 memcpy bytes=%d", size))
+	}, func(i int) float64 {
+		s := system.MustNew(mkCfg(i))
 		return s.RunMemcpy(size).Throughput()
 	})
 	t := stats.NewTable("config", "Baseline (GB/s)", "PIM-MMU (GB/s)", "gain")
@@ -273,7 +311,10 @@ func Fig15a(w io.Writer, sc Scale) {
 	sizes := fig15Sizes(sc)
 	designs := system.Designs()
 	g := sweep.NewGrid(len(bothDirections), len(sizes), len(designs))
-	thr := sweep.Map(g.Size(), func(i int) float64 {
+	thr := cachedMap(g.Size(), func(i int) string {
+		return jobKey(newConfig(designs[g.Coord(i, 2)]),
+			fmt.Sprintf("fig15a xfer dir=%v bytes=%d", bothDirections[g.Coord(i, 0)], sizes[g.Coord(i, 1)]))
+	}, func(i int) float64 {
 		s := newSystem(designs[g.Coord(i, 2)])
 		return runTransfer(s, bothDirections[g.Coord(i, 0)], sizes[g.Coord(i, 1)]).Throughput()
 	})
@@ -299,27 +340,30 @@ func Fig15b(w io.Writer, sc Scale) {
 	sizes := fig15Sizes(sc)
 	designs := system.Designs()
 	type point struct {
-		total      float64
-		staticFrac float64
+		Total      float64
+		StaticFrac float64
 	}
 	g := sweep.NewGrid(len(bothDirections), len(sizes), len(designs))
-	res := sweep.Map(g.Size(), func(i int) point {
+	res := cachedMap(g.Size(), func(i int) string {
+		return jobKey(newConfig(designs[g.Coord(i, 2)]),
+			fmt.Sprintf("fig15b energy dir=%v bytes=%d", bothDirections[g.Coord(i, 0)], sizes[g.Coord(i, 1)]))
+	}, func(i int) point {
 		s := newSystem(designs[g.Coord(i, 2)])
 		before := s.Activity()
 		runTransfer(s, bothDirections[g.Coord(i, 0)], sizes[g.Coord(i, 1)])
 		b := s.EnergyOver(before, s.Activity())
-		return point{total: b.Total(), staticFrac: b.Static() / b.Total()}
+		return point{Total: b.Total(), StaticFrac: b.Static() / b.Total()}
 	})
 	for di, dir := range bothDirections {
 		fmt.Fprintf(w, "-- %v: energy normalized to Base (lower is better) --\n", dir)
 		t := stats.NewTable("size", "Base", "Base+D", "Base+D+H", "Base+D+H+P", "PIM-MMU static share")
 		for si, size := range sizes {
-			base := res[g.Index(di, si, 0)].total
+			base := res[g.Index(di, si, 0)].Total
 			mmu := res[g.Index(di, si, 3)]
 			t.Rowf("%dMB\t1.00\t%.2f\t%.2f\t%.2f\t%.0f%%", size>>20,
-				res[g.Index(di, si, 1)].total/base,
-				res[g.Index(di, si, 2)].total/base,
-				mmu.total/base, 100*mmu.staticFrac)
+				res[g.Index(di, si, 1)].Total/base,
+				res[g.Index(di, si, 2)].Total/base,
+				mmu.Total/base, 100*mmu.StaticFrac)
 		}
 		fmt.Fprint(w, t)
 		fmt.Fprintln(w)

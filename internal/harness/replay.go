@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/mem"
+	"repro/internal/resultcache"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -57,11 +58,24 @@ func Replay(w io.Writer, sc Scale) {
 	workloads := replayWorkloads()
 	designs := baseVsMMU
 	type point struct {
-		thr float64
-		h   trace.LatencyHist
+		Thr  float64
+		Hist trace.LatencyHist
 	}
 	g := sweep.NewGrid(len(workloads), len(designs))
-	res := sweep.Map(g.Size(), func(i int) point {
+	res := cachedMap(g.Size(), func(i int) string {
+		wl := workloads[g.Coord(i, 0)]
+		cfg := replayGenConfig(sc)
+		if wl.tweak != nil {
+			wl.tweak(&cfg)
+		}
+		// cfg.Base is assigned inside the job, but it is itself a pure
+		// function of the machine (the first allocation of a fresh system,
+		// or the fixed PIM base), so pim + the generator config identify
+		// the workload completely.
+		return jobKey(newConfig(designs[g.Coord(i, 1)]),
+			fmt.Sprintf("replay pattern=%s pim=%v gen=%s rcfg=%s", wl.pattern, wl.pim,
+				resultcache.Canonical(cfg), resultcache.Canonical(trace.DefaultReplayConfig())))
+	}, func(i int) point {
 		wl := workloads[g.Coord(i, 0)]
 		s := newSystem(designs[g.Coord(i, 1)])
 		cfg := replayGenConfig(sc)
@@ -79,7 +93,7 @@ func Replay(w io.Writer, sc Scale) {
 			panic(err)
 		}
 		reportLaneStats(fmt.Sprintf("replay %s %v", wl.name, s.Cfg.Design), s)
-		return point{thr: rr.Throughput(), h: rr.Latency}
+		return point{Thr: rr.Throughput(), Hist: rr.Latency}
 	})
 	t := stats.NewTable("workload", "Base (GB/s)", "PIM-MMU (GB/s)", "gain",
 		"Base p50/p95/p99 (ns)", "PIM-MMU p50/p95/p99 (ns)")
@@ -87,8 +101,8 @@ func Replay(w io.Writer, sc Scale) {
 		b := res[g.Index(wi, 0)]
 		m := res[g.Index(wi, 1)]
 		t.Rowf("%s\t%s\t%s\t%s\t%s\t%s", wl.name,
-			gb(b.thr), gb(m.thr), ratio(m.thr/b.thr),
-			percentiles(&b.h), percentiles(&m.h))
+			gb(b.Thr), gb(m.Thr), ratio(m.Thr/b.Thr),
+			percentiles(&b.Hist), percentiles(&m.Hist))
 	}
 	fmt.Fprint(w, t)
 	fmt.Fprintln(w, "expected shape: DRAM-region patterns gain from HetMap's MLP-centric")

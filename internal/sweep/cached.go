@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Cache is the result store MapCached consults: a content-addressed
+// byte-payload cache (satisfied by *resultcache.Store). Implementations
+// must be safe for concurrent use by the worker pool and best-effort on
+// Put — a failed store must not fail the sweep. A nil Cache disables
+// caching.
+type Cache interface {
+	// Get returns the payload stored under key, or false when no valid
+	// entry exists (missing, corrupt, or stale entries all answer false).
+	Get(key string) ([]byte, bool)
+	// Put persists a payload under key.
+	Put(key string, payload []byte)
+}
+
+// MapCached is Map with a content-addressed result cache in front of the
+// jobs: index i's result is served from c when a valid entry exists under
+// key(i), and computed (then stored) otherwise. Because every job is a
+// pure function of its configuration — the determinism contract the whole
+// sweep layer rests on — a hit is byte-identical to the computation it
+// replaces, so the returned slice is indistinguishable from Map's at
+// every worker count: hit-vs-miss is invisible to deterministic ordering.
+//
+// Results round-trip through gob, so R must be a gob-encodable type whose
+// meaningful state lives in exported fields (strings, numerics, and
+// exported-field structs all qualify). A payload that fails to decode —
+// for example after R's shape changed — counts as a miss and is
+// recomputed and overwritten. key(i) is only evaluated when a cache is
+// installed; with c == nil MapCached is exactly Map.
+func MapCached[R any](c Cache, n int, key func(i int) string, job func(i int) R) []R {
+	if c == nil {
+		return Map(n, job)
+	}
+	out := make([]R, n)
+	keys := make([]string, n)
+	var miss []int
+	for i := 0; i < n; i++ {
+		keys[i] = key(i)
+		if payload, ok := c.Get(keys[i]); ok && decodeResult(payload, &out[i]) {
+			continue
+		}
+		// A decode failure after a successful Get leaves out[i] partially
+		// filled; reset it so the recompute starts from a zero value.
+		var zero R
+		out[i] = zero
+		miss = append(miss, i)
+	}
+	if len(miss) == 0 {
+		return out
+	}
+	// Only the misses occupy workers; each stores its result as soon as
+	// it is computed, so an interrupted sweep still persists every
+	// finished design point.
+	results := Map(len(miss), func(j int) R {
+		r := job(miss[j])
+		if payload, ok := encodeResult(r); ok {
+			c.Put(keys[miss[j]], payload)
+		}
+		return r
+	})
+	for j, i := range miss {
+		out[i] = results[j]
+	}
+	return out
+}
+
+// encodeResult renders one result as a gob payload.
+func encodeResult[R any](r R) ([]byte, bool) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&r); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// decodeResult parses a gob payload into out, reporting success.
+func decodeResult[R any](payload []byte, out *R) bool {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(out) == nil
+}

@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// mapCache is an in-memory Cache for tests.
+type mapCache struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	gets    int
+	puts    int
+}
+
+func newMapCache() *mapCache { return &mapCache{entries: map[string][]byte{}} }
+
+func (c *mapCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	p, ok := c.entries[key]
+	return p, ok
+}
+
+func (c *mapCache) Put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.entries[key] = append([]byte(nil), payload...)
+}
+
+// result exercises the exported-field struct path (the shape harness
+// experiments cache).
+type result struct {
+	Index int
+	Thr   float64
+	Label string
+}
+
+func TestMapCachedColdThenWarm(t *testing.T) {
+	c := newMapCache()
+	key := func(i int) string { return fmt.Sprintf("job-%d", i) }
+	var calls []int
+	var mu sync.Mutex
+	job := func(i int) result {
+		mu.Lock()
+		calls = append(calls, i)
+		mu.Unlock()
+		return result{Index: i, Thr: float64(i) * 1.5, Label: fmt.Sprintf("r%d", i)}
+	}
+	const n = 9
+	cold := MapCached(c, n, key, job)
+	if len(calls) != n {
+		t.Fatalf("cold run computed %d jobs, want %d", len(calls), n)
+	}
+	if c.puts != n {
+		t.Fatalf("cold run stored %d entries, want %d", c.puts, n)
+	}
+	calls = nil
+	warm := MapCached(c, n, key, func(i int) result {
+		t.Errorf("warm run recomputed job %d", i)
+		return result{}
+	})
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm run differs:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	for i, r := range warm {
+		if r.Index != i {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestMapCachedPartialHits(t *testing.T) {
+	c := newMapCache()
+	key := func(i int) string { return fmt.Sprintf("k%d", i) }
+	full := MapCached(c, 6, key, func(i int) int { return i * i })
+	// Drop half the entries; only those recompute.
+	c.mu.Lock()
+	delete(c.entries, "k1")
+	delete(c.entries, "k4")
+	c.mu.Unlock()
+	var recomputed []int
+	var mu sync.Mutex
+	again := MapCached(c, 6, key, func(i int) int {
+		mu.Lock()
+		recomputed = append(recomputed, i)
+		mu.Unlock()
+		return i * i
+	})
+	if !reflect.DeepEqual(full, again) {
+		t.Fatalf("partial-hit run differs: %v vs %v", full, again)
+	}
+	if len(recomputed) != 2 {
+		t.Fatalf("recomputed %v, want exactly the two evicted jobs", recomputed)
+	}
+}
+
+func TestMapCachedRejectsUndecodablePayload(t *testing.T) {
+	c := newMapCache()
+	key := func(i int) string { return "k" }
+	c.Put("k", []byte("not a gob payload"))
+	got := MapCached(c, 1, key, func(i int) result { return result{Index: 42} })
+	if got[0].Index != 42 {
+		t.Fatalf("corrupt payload served: %+v", got[0])
+	}
+	// The recompute overwrote the bad entry with a decodable one.
+	warm := MapCached(c, 1, key, func(i int) result {
+		t.Error("repaired entry missed")
+		return result{}
+	})
+	if warm[0].Index != 42 {
+		t.Fatalf("repaired entry = %+v", warm[0])
+	}
+}
+
+func TestMapCachedNilCacheIsMap(t *testing.T) {
+	keyCalls := 0
+	got := MapCached[int](nil, 4, func(i int) string { keyCalls++; return "" }, func(i int) int { return i + 1 })
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("nil-cache result %v", got)
+	}
+	if keyCalls != 0 {
+		t.Fatal("key derived with caching disabled")
+	}
+}
+
+func TestMapCachedOrderingAcrossWorkers(t *testing.T) {
+	// Mixed hits and misses must land in index order at every worker
+	// count, exactly like Map.
+	for _, workers := range []int{1, 2, 8} {
+		SetWorkers(workers)
+		c := newMapCache()
+		key := func(i int) string { return fmt.Sprintf("w%d", i) }
+		MapCached(c, 16, key, func(i int) int { return i })
+		c.mu.Lock()
+		for i := 0; i < 16; i += 3 {
+			delete(c.entries, key(i))
+		}
+		c.mu.Unlock()
+		got := MapCached(c, 16, key, func(i int) int { return i })
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: index %d holds %d", workers, i, v)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMapCachedFloatBitExact(t *testing.T) {
+	// Floats must round-trip bit-exactly: rendered tables compare byte
+	// for byte between cold and warm runs.
+	c := newMapCache()
+	vals := []float64{0.1, 1.0 / 3.0, 2.2250738585072014e-308, 6.9}
+	key := func(i int) string { return fmt.Sprintf("f%d", i) }
+	cold := MapCached(c, len(vals), key, func(i int) float64 { return vals[i] })
+	warm := MapCached(c, len(vals), key, func(i int) float64 {
+		t.Errorf("job %d recomputed", i)
+		return 0
+	})
+	for i := range vals {
+		if cold[i] != vals[i] || warm[i] != vals[i] {
+			t.Fatalf("float %d drifted: %x vs %x", i, warm[i], vals[i])
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package system
+
+import "repro/internal/resultcache"
+
+// configSchema versions the fingerprint derivation itself; bump it when
+// the meaning of an existing field changes without its name or type
+// changing (the canonical encoding cannot see that).
+const configSchema = "system.Config/v1"
+
+// Fingerprint returns a stable content digest of the configuration:
+// every exported field — recursively, covering the memory system, CPU,
+// PIM geometry, DCE, energy model, transfer engines, design point, and
+// lane topology settings — is canonically encoded and hashed. Two
+// configs share a fingerprint iff every semantically meaningful field
+// agrees (proven per-field by the reflection-based sensitivity test), so
+// the fingerprint is a sound cache-key component for any result that is
+// a pure function of the machine: by the determinism contract, that is
+// every simulation result.
+//
+// Shards and CoreLanes participate even though results are identical
+// across lane topologies (sharded_test.go pins that): including them is
+// conservative — differing topologies re-simulate rather than share
+// entries — and keeps the fingerprint free of knowledge about which
+// fields happen to be result-neutral.
+func (c Config) Fingerprint() string {
+	return resultcache.KeyOf(configSchema, string(resultcache.Canonical(c)))
+}
