@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	pimmu-bench [-full] [-workers N] [-shards N] [-core-lanes N] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] <experiment>|all|list
+//	pimmu-bench [-full] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] <experiment>|all|list
 //
 // Experiments: table1 fig4 fig6 fig8 fig13a fig13b fig14 fig15a fig15b
 // fig16 area headline. Quick sizes are the default; -full uses the
@@ -14,8 +14,10 @@
 // lane topology — one event lane per DDR4 channel, plus -core-lanes
 // per-core host lanes with the LLC as the crossing boundary (the lever
 // for the contender-heavy fig13 sweeps) — in conservative windows.
-// Output is byte-identical across all -shards counts >= 1 and every
-// -core-lanes count (0, the default serial engine, can break
+// auto sizes the pool to the host and lets the adaptive controller tune
+// window thresholds per run. Output is byte-identical across all
+// -shards counts >= 1 (auto included) and every -core-lanes count (0,
+// the default serial engine, can break
 // same-instant event ties differently on CPU-streaming workloads; see
 // system.Config.Shards). -lane-stats prints each machine's per-lane
 // fired/window/serial/mailbox counters to stderr after its run, so
@@ -49,15 +51,25 @@ var cacheStore *resultcache.Store
 func main() {
 	full := flag.Bool("full", false, "use the paper's full experiment sizes")
 	workers := flag.Int("workers", 0, "parallel simulations per sweep (0 = all cores, 1 = serial)")
-	shards := flag.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
-	coreLanes := flag.Int("core-lanes", 0, "per-core event lanes per machine (requires -shards >= 1)")
+	shards := flag.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
+	coreLanes := flag.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
 	laneStats := flag.Bool("lane-stats", false, "print per-lane engine counters to stderr after each machine's run")
 	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = caching off)")
 	cacheMode := flag.String("cache", "rw", "result-cache mode: off, rw, or ro")
 	flag.Usage = usage
 	flag.Parse()
 	sweep.SetWorkers(*workers)
-	sh, cl, warns, err := system.NormalizeLaneFlags(*shards, *coreLanes)
+	shardsN, err := system.ParseLaneFlag(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-bench: -shards: %v\n", err)
+		os.Exit(2)
+	}
+	coreLanesN, err := system.ParseLaneFlag(*coreLanes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-bench: -core-lanes: %v\n", err)
+		os.Exit(2)
+	}
+	sh, cl, warns, err := system.NormalizeLaneFlags(shardsN, coreLanesN)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
 		os.Exit(2)
@@ -124,6 +136,6 @@ func runOne(e harness.Experiment, sc harness.Scale) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] [-shards N] [-core-lanes N] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] <experiment>|all|list\n")
+	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] <experiment>|all|list\n")
 	flag.PrintDefaults()
 }

@@ -40,6 +40,24 @@ func TestReadCaptureSplitOutputAndSuffix(t *testing.T) {
 	}
 }
 
+// TestReadCaptureKeepsMinOverRepeats pins the -count=N treatment: a
+// capture holding several runs of one benchmark resolves to the
+// fastest run, regardless of order in the stream.
+func TestReadCaptureKeepsMinOverRepeats(t *testing.T) {
+	capture := `{"Action":"output","Package":"p","Output":"BenchmarkEngineR-8 \t100\t  30.0 ns/op\t  0 B/op\t  0 allocs/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkEngineR-8 \t100\t  12.0 ns/op\t  0 B/op\t  0 allocs/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkEngineR-8 \t100\t  20.0 ns/op\t  0 B/op\t  0 allocs/op\n"}
+`
+	res, err := readCapture(writeCapture(t, "repeat.json", capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["p/BenchmarkEngineR"]
+	if !ok || r.NsPerOp != 12.0 {
+		t.Fatalf("min-over-repeats result = %+v, %v; want 12 ns/op", r, ok)
+	}
+}
+
 func TestReadCapturePlainText(t *testing.T) {
 	res, err := readCapture(writeCapture(t, "plain.txt",
 		"goos: linux\nBenchmarkEngineX-4   500   20.5 ns/op   0 B/op   0 allocs/op\n"))

@@ -6,7 +6,7 @@
 //	pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
 //	pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
 //	pimmu-replay inspect [-n N] FILE
-//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-core-lanes N] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
+//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
 //
 // record captures every request a transfer presents to the memory port
 // of the chosen design; gen synthesizes one of the built-in application
@@ -15,12 +15,14 @@
 // fresh machine (or, with -design all, into every design point in
 // parallel) at its recorded inter-arrival times and reports bandwidth
 // and latency. Replays of the same trace are bit-identical across runs,
-// across -workers counts, across -shards counts >= 1 and across every
-// -core-lanes count (-shards runs each machine's lane topology — one
-// event lane per DDR4 channel plus -core-lanes per-core host lanes — in
-// conservative parallel windows; 0, the default serial engine, can break
-// same-instant event ties differently on some workloads — see
-// system.Config.Shards).
+// across -workers counts, across -shards counts >= 1 (auto included)
+// and across every -core-lanes count (-shards runs each machine's lane
+// topology — one event lane per DDR4 channel plus -core-lanes per-core
+// host lanes — in conservative parallel windows; auto sizes the pool to
+// the host with adaptive window tuning; 0, the default serial engine,
+// can break same-instant event ties differently on some workloads — see
+// system.Config.Shards). -lane-stats dumps each machine's per-lane
+// event counters to stderr after its replay; cache hits skip the dump.
 //
 // replay's -cache-dir enables the content-addressed result cache: each
 // (machine fingerprint, trace identity, replay config, code version)
@@ -37,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -80,7 +83,7 @@ func usage() {
   pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
   pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
   pimmu-replay inspect [-n N] FILE
-  pimmu-replay replay  [-design D|all] [-workers N] [-shards N] [-core-lanes N] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
+  pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
 `)
 }
 
@@ -200,8 +203,9 @@ func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	designFlag := fs.String("design", "pim-mmu", "design point, or all")
 	workers := fs.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
-	shards := fs.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
-	coreLanes := fs.Int("core-lanes", 0, "per-core event lanes per machine (requires -shards >= 1)")
+	shards := fs.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
+	coreLanes := fs.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
+	laneStats := fs.Bool("lane-stats", false, "dump per-lane event counters to stderr after each replay")
 	inflight := fs.Int("inflight", 64, "max outstanding line requests")
 	noncache := fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region records")
 	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = caching off)")
@@ -210,7 +214,16 @@ func cmdReplay(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay: want exactly one trace file")
 	}
-	sh, cl, warns, err := system.NormalizeLaneFlags(*shards, *coreLanes)
+	dumpLaneStats = *laneStats
+	shardsN, err := system.ParseLaneFlag(*shards)
+	if err != nil {
+		return fmt.Errorf("replay: -shards: %w", err)
+	}
+	coreLanesN, err := system.ParseLaneFlag(*coreLanes)
+	if err != nil {
+		return fmt.Errorf("replay: -core-lanes: %w", err)
+	}
+	sh, cl, warns, err := system.NormalizeLaneFlags(shardsN, coreLanesN)
 	if err != nil {
 		return err
 	}
@@ -304,6 +317,14 @@ func traceIdentity(recs []trace.Record) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// dumpLaneStats mirrors replay's -lane-stats flag; blocks print whole
+// under the mutex (design points replayed in parallel interleave in
+// completion order — the dump is a diagnostic, not part of the report).
+var (
+	dumpLaneStats bool
+	laneStatsMu   sync.Mutex
+)
+
 // replayOn replays recs on a fresh machine of the given design, with the
 // event queue sharded over the lane topology when shards >= 1.
 func replayOn(d system.Design, shards, coreLanes int, recs []trace.Record, cfg trace.ReplayConfig) trace.Result {
@@ -314,6 +335,14 @@ func replayOn(d system.Design, shards, coreLanes int, recs []trace.Record, cfg t
 	r, err := s.RunReplay(recs, cfg)
 	if err != nil {
 		panic(err)
+	}
+	if dumpLaneStats {
+		if st := s.Eng.ShardStats(); st.Lanes != nil {
+			laneStatsMu.Lock()
+			fmt.Fprintf(os.Stderr, "-- lanes: replay %v --\n%s", d, st)
+			laneStatsMu.Unlock()
+			s.Eng.ResetStats()
+		}
 	}
 	return r
 }

@@ -5,17 +5,23 @@
 //
 // Usage:
 //
-//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N] [-core-lanes N] [-cache-dir DIR] [-cache off|rw|ro]
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro]
 //
 // -workers parallelizes across independent design-point machines;
 // -shards parallelizes inside each machine, running its lane topology —
 // one event lane per DDR4 channel plus -core-lanes per-core host lanes
 // with the LLC as the crossing boundary — in conservative windows (0 =
 // plain serial engine, 1 = sharded queue executed serially, >= 2 = that
-// many window workers). Output is independent of -workers, of -shards
-// across all counts >= 1, and of -core-lanes across every count (0 can
-// break same-instant event ties differently on some workloads; see
-// system.Config.Shards).
+// many window workers, auto = sized to the host with adaptive window
+// tuning). Output is independent of -workers, of -shards across all
+// counts >= 1 including auto, and of -core-lanes across every count
+// including auto (0 can break same-instant event ties differently on
+// some workloads; see system.Config.Shards).
+//
+// -lane-stats dumps each simulated machine's per-lane event counters to
+// stderr after its transfer — the adaptive controller's inputs. Cache
+// hits skip the dump: they describe a simulation, and a hit does not
+// simulate.
 //
 // -cache-dir enables the content-addressed result cache: each design
 // point's measurement is keyed on (config fingerprint, direction, size,
@@ -28,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -41,15 +48,26 @@ func main() {
 	mb := flag.Uint64("mb", 16, "total transfer size in MiB")
 	dirFlag := flag.String("dir", "to", "direction: to (DRAM->PIM) or from (PIM->DRAM)")
 	workers := flag.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
-	shards := flag.Int("shards", 0, "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows)")
-	coreLanes := flag.Int("core-lanes", 0, "per-core event lanes per machine (requires -shards >= 1)")
+	shards := flag.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
+	coreLanes := flag.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
+	laneStats := flag.Bool("lane-stats", false, "dump per-lane event counters to stderr after each simulated transfer")
 	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = caching off)")
 	cacheMode := flag.String("cache", "rw", "result-cache mode: off, rw, or ro")
 	flag.Parse()
 	sweep.SetWorkers(*workers)
+	dumpLaneStats = *laneStats
+	shardsN, err := system.ParseLaneFlag(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: -shards: %v\n", err)
+		os.Exit(2)
+	}
+	coreLanesN, err := system.ParseLaneFlag(*coreLanes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: -core-lanes: %v\n", err)
+		os.Exit(2)
+	}
 	var warns []string
-	var err error
-	engineShards, engineCoreLanes, warns, err = system.NormalizeLaneFlags(*shards, *coreLanes)
+	engineShards, engineCoreLanes, warns, err = system.NormalizeLaneFlags(shardsN, coreLanesN)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
 		os.Exit(2)
@@ -87,8 +105,36 @@ func main() {
 }
 
 // engineShards/engineCoreLanes are the -shards/-core-lanes selections
-// applied to every machine built.
+// applied to every machine built (system.Auto passes through to each
+// machine's Normalize — and into the cache key as the sentinel, keeping
+// keys machine-independent).
 var engineShards, engineCoreLanes int
+
+// dumpLaneStats mirrors -lane-stats. Blocks print whole under the
+// mutex; design points measured in parallel interleave in completion
+// order — the dump is a diagnostic, deliberately not part of the
+// deterministic report.
+var (
+	dumpLaneStats bool
+	laneStatsMu   sync.Mutex
+)
+
+// reportLaneStats prints one machine's per-lane counters to stderr and
+// resets them, so a later dump on the same engine would attribute only
+// its own run.
+func reportLaneStats(tag string, s *system.System) {
+	if !dumpLaneStats {
+		return
+	}
+	st := s.Eng.ShardStats()
+	if st.Lanes == nil {
+		return // plain engine: nothing to attribute
+	}
+	laneStatsMu.Lock()
+	fmt.Fprintf(os.Stderr, "-- lanes: %s --\n%s", tag, st)
+	laneStatsMu.Unlock()
+	s.Eng.ResetStats()
+}
 
 // cacheStore is the -cache-dir result cache (nil = off).
 var cacheStore *resultcache.Store
@@ -145,6 +191,7 @@ func measure(design system.Design, dir core.Direction, mb uint64) measurement {
 	before := s.Activity()
 	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
 	m := measurement{Res: res, Energy: s.EnergyOver(before, s.Activity())}
+	reportLaneStats(fmt.Sprintf("%v %v %d MiB", design, dir, mb), s)
 	ds, ps := s.Mem.DRAM.Stats(), s.Mem.PIM.Stats()
 	m.DRAMRead, m.DRAMWritten = ds.BytesRead(), ds.BytesWritten()
 	m.PIMRead, m.PIMWritten = ps.BytesRead(), ps.BytesWritten()

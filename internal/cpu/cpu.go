@@ -28,7 +28,21 @@
 //   - every other execution step (memory issue, barrier, thread exit,
 //     dispatch, preemption wake) is a crossing and fires serially at the
 //     engine frontier, where touching the LLC, the channels, and the
-//     CPU-wide scheduler state is safe.
+//     CPU-wide scheduler state is safe;
+//   - LLC-hit completions deliver on the issuing core's own scheduler
+//     (mem.Req.DeliverOn): the completion callback touches only the
+//     issuing thread, which runs on that very lane, so a computing
+//     thread's hit loop stays off the frontier entirely. The assertion
+//     holds only while the thread stays scheduled there and unblocked,
+//     so the core promotes in-flight deliveries back to crossing events
+//     (mem.HitPromoter) whenever the thread blocks, is preempted, or
+//     migrates — mirroring how resumeCycles carries an interrupted
+//     compute span across a preemption. Only laned cores set DeliverOn:
+//     an unlaned core's scheduler is the engine itself, where the
+//     memory system's batched host queue is strictly cheaper and
+//     observably identical (deliveries fire in enqueue order at the
+//     same instants), so every golden is byte-identical across the
+//     whole lane-topology axis either way.
 //
 // The peek that classification requires pulls the next program operation
 // at span start rather than span end. The pull happens identically on
@@ -227,6 +241,12 @@ type CPU struct {
 	ready  []*Thread // runnable threads not on a core
 	nextID int
 	alive  int // spawned minus exited
+
+	// hits is the port's hit-promotion surface, set when the cores run on
+	// their own lanes and the port supports per-requester hit delivery;
+	// nil otherwise (promotion is then meaningless: every delivery
+	// already fires at the frontier).
+	hits mem.HitPromoter
 }
 
 // New builds the processor. The quantum ticker starts with the first
@@ -238,6 +258,11 @@ func New(eng *sim.Engine, cfg Config, port mem.Port) *CPU {
 		panic(err)
 	}
 	c := &CPU{eng: eng, cfg: cfg, dom: clock.NewDomain(cfg.Clock), mem: port}
+	if cfg.Lanes > 0 {
+		if hp, ok := port.(mem.HitPromoter); ok {
+			c.hits = hp
+		}
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		core := &Core{id: i, cpu: c, sched: eng}
 		if cfg.Lanes > 0 {
@@ -347,6 +372,11 @@ func (c *CPU) rotate() {
 			t.computeUntil = 0
 			core.thread = nil
 			t.core = nil
+			// The thread may land on a different core (a different lane)
+			// or none at all; either way its in-flight hit deliveries
+			// must leave the old lane — exactly as resumeCycles carries
+			// the interrupted span — so they complete at the frontier.
+			c.promoteHits(t)
 			c.ready = append(c.ready, t)
 		}
 	}
@@ -367,6 +397,10 @@ func (c *CPU) exit(core *Core) {
 	core.thread = nil
 	t.core = nil
 	t.done = true
+	// A program may end with operations still in flight; their
+	// deliveries must not stay lane-local on a core about to run
+	// someone else.
+	c.promoteHits(t)
 	c.alive--
 	if len(c.ready) > 0 {
 		next := c.ready[0]
@@ -465,6 +499,7 @@ func (core *Core) advance(now clock.Picos) {
 		case OpBarrier:
 			if t.totalOut > 0 {
 				t.blocked = true
+				cpu.promoteHits(t)
 				return
 			}
 			t.haveOp = false
@@ -475,12 +510,19 @@ func (core *Core) advance(now clock.Picos) {
 			if op.Kind == OpLoad && t.loadsOut >= cpu.cfg.LoadBuffers ||
 				op.Kind == OpStore && t.storesOut >= cpu.cfg.StoreBuffers {
 				t.blocked = true
+				cpu.promoteHits(t)
 				return
 			}
 			req := &mem.Req{
 				Addr:      mem.LineAlign(op.Addr),
 				Cacheable: !op.NC,
 				SrcID:     t.ID,
+			}
+			if core.laned {
+				// An unlaned core's scheduler is the engine: the batched
+				// host hit queue is cheaper there and delivers in the
+				// same order.
+				req.DeliverOn = core.sched
 			}
 			if op.Kind == OpStore {
 				req.Kind = mem.Write
@@ -540,9 +582,27 @@ func (core *Core) kickIfMine(t *Thread) {
 	}
 }
 
-// complete absorbs one memory-operation completion. Completions fire at
-// the serial frontier (channel-lane crossings or host LLC-hit delivery),
-// so touching the thread and kicking its core is safe on any topology.
+// promoteHits migrates thread t's in-flight LLC-hit deliveries to the
+// serial frontier, because the lane-locality assertion behind
+// mem.Req.DeliverOn is about to stop holding: the thread blocks (its
+// next completion must kick the core — serial-only work), is preempted,
+// migrates, or exits. Only called from serial context. Promotion never
+// reorders a delivery, it only changes where it executes, so results
+// are unaffected by construction.
+func (c *CPU) promoteHits(t *Thread) {
+	if c.hits != nil && t.totalOut > 0 {
+		c.hits.PromoteHits(t.ID)
+	}
+}
+
+// complete absorbs one memory-operation completion. A completion fires
+// either at the serial frontier (channel-lane crossings, promoted or
+// host-delivered LLC hits) — where touching the thread and kicking its
+// core is safe on any topology — or lane-locally on the issuing core's
+// lane (an unpromoted per-requester hit delivery), in which case the
+// promotion contract guarantees the thread is unblocked and still
+// scheduled there: the completion then only decrements the in-flight
+// counters, state owned by that same lane.
 func (t *Thread) complete(kind OpKind) {
 	if kind == OpLoad {
 		t.loadsOut--

@@ -199,3 +199,126 @@ func TestQuantumBoundarySpanEndReclassified(t *testing.T) {
 		t.Errorf("laned aggregates diverged from plain:\nplain %s\nlaned %s", plain, want)
 	}
 }
+
+// promoterMem is a fakeMem that records every PromoteHits call, standing
+// in for the memory system's per-requester hit-delivery pools.
+type promoterMem struct {
+	fakeMem
+	promoted []int
+}
+
+func (p *promoterMem) PromoteHits(srcID int) { p.promoted = append(p.promoted, srcID) }
+
+// TestPromoteHitsTriggers pins the call sites of the lane-locality
+// assertion behind mem.Req.DeliverOn: the CPU must promote a thread's
+// in-flight deliveries the moment the thread blocks (barrier or full
+// buffer), is preempted off its core, or exits with operations still
+// outstanding — and must not promote when nothing is in flight.
+func TestPromoteHitsTriggers(t *testing.T) {
+	const floor = 12500
+	cases := []struct {
+		name  string
+		setup func(c *CPU) *Thread // spawns the thread under test
+		cfg   func(cfg *Config)
+		want  bool // thread's ID must appear in promoted
+	}{
+		{
+			// A barrier with a load in flight blocks the thread: its
+			// pending delivery must move to the frontier so the unblock
+			// kick runs serially.
+			name: "barrier block promotes",
+			setup: func(c *CPU) *Thread {
+				return c.Spawn("w", seqProgram([]Op{
+					{Kind: OpLoad, Addr: 0}, {Kind: OpBarrier}}), nil)
+			},
+			want: true,
+		},
+		{
+			// A full load buffer blocks the same way.
+			name: "buffer-full block promotes",
+			cfg:  func(cfg *Config) { cfg.LoadBuffers = 1 },
+			setup: func(c *CPU) *Thread {
+				return c.Spawn("w", seqProgram([]Op{
+					{Kind: OpLoad, Addr: 0}, {Kind: OpLoad, Addr: 64}}), nil)
+			},
+			want: true,
+		},
+		{
+			// A program that ends with a store still outstanding exits the
+			// thread; the delivery must leave the lane the next thread
+			// will run on.
+			name: "exit with outstanding store promotes",
+			setup: func(c *CPU) *Thread {
+				return c.Spawn("w", seqProgram([]Op{
+					{Kind: OpStore, Addr: 0, NC: true}}), nil)
+			},
+			want: true,
+		},
+		{
+			// Pure compute never has a delivery in flight: no promotion.
+			name: "compute-only thread never promotes",
+			setup: func(c *CPU) *Thread {
+				return c.Spawn("w", seqProgram([]Op{
+					{Kind: OpCompute, Cycles: 100000}}), nil)
+			},
+			want: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := laneEngine(1, 1, floor)
+			cfg := testCfg()
+			cfg.Cores = 1
+			cfg.Lanes = 1
+			cfg.LaneLocalFloor = floor
+			if tc.cfg != nil {
+				tc.cfg(&cfg)
+			}
+			pm := &promoterMem{fakeMem: fakeMem{eng: eng, latency: clock.Millisecond, accepts: -1}}
+			c := New(eng, cfg, pm)
+			th := tc.setup(c)
+			eng.Run()
+			got := false
+			for _, id := range pm.promoted {
+				if id == th.ID {
+					got = true
+				}
+			}
+			if got != tc.want {
+				t.Errorf("promoted=%v (thread %d), want promotion=%v", pm.promoted, th.ID, tc.want)
+			}
+		})
+	}
+}
+
+// TestPromoteHitsOnPreemption pins the rotate trigger: when the quantum
+// expires with a ready thread waiting, the descheduled thread's in-flight
+// deliveries are promoted off its old lane — exactly as resumeCycles
+// carries its interrupted compute span.
+func TestPromoteHitsOnPreemption(t *testing.T) {
+	const floor = 12500
+	eng := laneEngine(1, 1, floor)
+	cfg := testCfg()
+	cfg.Cores = 1
+	cfg.Lanes = 1
+	cfg.LaneLocalFloor = floor
+	cfg.Quantum = clock.Millisecond
+	// Latency far beyond the quantum keeps the load in flight across the
+	// rotation.
+	pm := &promoterMem{fakeMem: fakeMem{eng: eng, latency: 10 * clock.Millisecond, accepts: -1}}
+	c := New(eng, cfg, pm)
+	victim := c.Spawn("victim", seqProgram([]Op{
+		{Kind: OpLoad, Addr: 0},
+		{Kind: OpCompute, Cycles: c.Domain().Cycles(4 * clock.Millisecond)},
+	}), nil)
+	c.Spawn("contender", seqProgram([]Op{
+		{Kind: OpCompute, Cycles: c.Domain().Cycles(4 * clock.Millisecond)},
+	}), nil)
+	eng.Run()
+	for _, id := range pm.promoted {
+		if id == victim.ID {
+			return
+		}
+	}
+	t.Errorf("preemption never promoted thread %d's deliveries (promoted=%v)", victim.ID, pm.promoted)
+}

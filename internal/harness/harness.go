@@ -49,20 +49,23 @@ var shardOverride atomic.Int64
 var coreLaneOverride atomic.Int64
 
 // SetShards selects the event-engine shard count for subsequent
-// experiment runs (the CLIs' -shards flag). Experiment output is
-// byte-identical across all shard counts >= 1; only wall-clock time
-// changes. The serial engine (0, the default) can order same-instant
-// event ties differently than the sharded canonical order on some
-// CPU-streaming workloads — see system.Config.Shards — so 1 is the
-// serial reference when comparing against sharded runs.
+// experiment runs (the CLIs' -shards flag). system.Auto passes through
+// to each machine's Normalize, which sizes the worker pool to the host.
+// Experiment output is byte-identical across all shard counts >= 1,
+// auto included; only wall-clock time changes. The serial engine (0,
+// the default) can order same-instant event ties differently than the
+// sharded canonical order on some CPU-streaming workloads — see
+// system.Config.Shards — so 1 is the serial reference when comparing
+// against sharded runs.
 func SetShards(n int) { shardOverride.Store(int64(n)) }
 
 // Shards reports the shard count experiments currently use.
 func Shards() int { return int(shardOverride.Load()) }
 
 // SetCoreLanes selects the per-core lane count for subsequent experiment
-// runs (the CLIs' -core-lanes flag; requires -shards >= 1). Output is
-// byte-identical across every core-lane count.
+// runs (the CLIs' -core-lanes flag; requires -shards >= 1 or auto).
+// system.Auto resolves to one lane per configured CPU core. Output is
+// byte-identical across every core-lane count, auto included.
 func SetCoreLanes(n int) { coreLaneOverride.Store(int64(n)) }
 
 // CoreLanes reports the core-lane count experiments currently use.
@@ -129,7 +132,12 @@ func SetLaneStats(w io.Writer) {
 }
 
 // reportLaneStats prints one machine's per-lane counters to the
-// diagnostic writer.
+// diagnostic writer, then resets them: experiments reuse machines
+// across transfers (and Run calls generally), so without the reset each
+// block would re-report every earlier run's events. Resetting only
+// happens when a block was actually written — the counters are a
+// diagnostic, and clearing them must not depend on whether anyone
+// looks.
 func reportLaneStats(tag string, s *system.System) {
 	laneStatsMu.Lock()
 	defer laneStatsMu.Unlock()
@@ -141,6 +149,7 @@ func reportLaneStats(tag string, s *system.System) {
 		return // plain engine: nothing to attribute
 	}
 	fmt.Fprintf(laneStats, "-- lanes: %s --\n%s", tag, st)
+	s.Eng.ResetStats()
 }
 
 // newConfig is the Table I configuration at the given design point with

@@ -158,6 +158,164 @@ func TestLLCHitDeliversFromHostLane(t *testing.T) {
 	}
 }
 
+// TestLLCHitDeliveryLane is the table test of the per-requester hit
+// delivery contract: a hit whose request names a delivery lane
+// (mem.Req.DeliverOn) becomes a lane-local event on exactly that lane —
+// never a channel lane, never the host — until PromoteHits reclassifies
+// it as a crossing for the request's source. A nil DeliverOn keeps the
+// batched host-queue path.
+func TestLLCHitDeliveryLane(t *testing.T) {
+	cases := []struct {
+		name    string
+		deliver string // delivery lane ("" = nil DeliverOn, batched host path)
+		src     int    // SrcID on the hit request
+		promote int    // SrcID passed to PromoteHits after enqueue (-1 = none)
+		// wantHost: the hit scheduled a host event; wantMail: the delivery
+		// was reclassified as a crossing on the delivery lane.
+		wantHost bool
+		wantMail bool
+	}{
+		{
+			name:    "hit lands on requester's lane",
+			deliver: "core:0", src: 3, promote: -1,
+		},
+		{
+			name:    "nil DeliverOn keeps batched host delivery",
+			deliver: "", promote: -1,
+			wantHost: true,
+		},
+		{
+			name:    "promotion moves the delivery to the frontier",
+			deliver: "core:0", src: 3, promote: 3,
+			wantMail: true,
+		},
+		{
+			name:    "promoting another source is a no-op",
+			deliver: "core:0", src: 3, promote: 9,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// workers=2: lane delivery only engages when the engine can
+			// execute windows; a serial engine falls back to the host
+			// queue (TestLLCHitSerialEnginesUseHostQueue).
+			eng, s := shardedSystem(t, 2)
+			// Prime the line (miss, fills from DRAM).
+			s.TryEnqueue(&mem.Req{Addr: 0x2000, Kind: mem.Read, Cacheable: true})
+			eng.Run()
+			var deliver sim.Scheduler
+			if tc.deliver != "" {
+				lane, ok := eng.Lane(tc.deliver)
+				if !ok {
+					t.Fatalf("lane %q not in topology", tc.deliver)
+				}
+				deliver = lane
+			}
+			hostBefore := eng.ShardStats().HostPending
+			done := false
+			s.TryEnqueue(&mem.Req{Addr: 0x2000, Kind: mem.Read, Cacheable: true,
+				SrcID: tc.src, DeliverOn: deliver,
+				OnDone: func(clock.Picos) { done = true }})
+			if tc.promote >= 0 {
+				s.PromoteHits(tc.promote)
+			}
+			st := eng.ShardStats()
+			if gotHost := st.HostPending > hostBefore; gotHost != tc.wantHost {
+				t.Errorf("host event scheduled = %v, want %v", gotHost, tc.wantHost)
+			}
+			for _, l := range st.Lanes {
+				want := 0
+				if l.Name == tc.deliver {
+					want = 1
+				}
+				if l.Pending != want {
+					t.Errorf("lane %s has %d pending events, want %d (hits deliver on the requester's lane only)",
+						l.Name, l.Pending, want)
+				}
+			}
+			if tc.deliver != "" {
+				ls := laneStat(t, eng, tc.deliver)
+				if gotMail := ls.MailboxPeak > 0; gotMail != tc.wantMail {
+					t.Errorf("delivery in %s mailbox = %v, want %v", tc.deliver, gotMail, tc.wantMail)
+				}
+			}
+			eng.Run()
+			if !done {
+				t.Fatal("hit completion never fired")
+			}
+			if lst := s.LLC.Stats(); lst.Hits != 1 {
+				t.Errorf("LLC hits = %d, want 1", lst.Hits)
+			}
+		})
+	}
+}
+
+// TestLLCHitSerialEnginesUseHostQueue pins the delivery-path gate: on an
+// engine that executes serially (workers <= 1) a DeliverOn request still
+// uses the batched host queue — lane delivery would add one frontier
+// scan per hit with no window to batch it into — and the completion
+// order is unchanged either way.
+func TestLLCHitSerialEnginesUseHostQueue(t *testing.T) {
+	eng, s := shardedSystem(t, 1)
+	s.TryEnqueue(&mem.Req{Addr: 0x2000, Kind: mem.Read, Cacheable: true})
+	eng.Run()
+	lane, ok := eng.Lane("core:0")
+	if !ok {
+		t.Fatal("core:0 not in topology")
+	}
+	before := eng.ShardStats().HostPending
+	done := false
+	s.TryEnqueue(&mem.Req{Addr: 0x2000, Kind: mem.Read, Cacheable: true,
+		SrcID: 1, DeliverOn: lane,
+		OnDone: func(clock.Picos) { done = true }})
+	st := eng.ShardStats()
+	if st.HostPending != before+1 {
+		t.Errorf("host pending %d -> %d, want the hit batched on the host queue",
+			before, st.HostPending)
+	}
+	if ls := laneStat(t, eng, "core:0"); ls.Pending != 0 {
+		t.Errorf("serial engine put %d events on core:0; lane delivery must be gated off", ls.Pending)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("hit completion never fired")
+	}
+}
+
+// TestPromoteHitsSelectsBySource pins promotion's per-source selectivity
+// with several deliveries in flight on one lane: only the promoted
+// source's deliveries move to the mailbox, and every delivery still
+// fires exactly once.
+func TestPromoteHitsSelectsBySource(t *testing.T) {
+	eng, s := shardedSystem(t, 2)
+	s.TryEnqueue(&mem.Req{Addr: 0x2000, Kind: mem.Read, Cacheable: true})
+	eng.Run()
+	lane, ok := eng.Lane("core:0")
+	if !ok {
+		t.Fatal("core:0 not in topology")
+	}
+	done := 0
+	for src := 0; src < 3; src++ {
+		s.TryEnqueue(&mem.Req{Addr: 0x2000, Kind: mem.Read, Cacheable: true,
+			SrcID: src, DeliverOn: lane,
+			OnDone: func(clock.Picos) { done++ }})
+	}
+	s.PromoteHits(1)
+	if peak := laneStat(t, eng, "core:0").MailboxPeak; peak != 1 {
+		t.Errorf("mailbox peak = %d after promoting 1 of 3 sources, want 1", peak)
+	}
+	eng.Run()
+	if done != 3 {
+		t.Errorf("%d of 3 hit completions fired", done)
+	}
+	// Promotion after delivery is a no-op, not a double fire.
+	s.PromoteHits(0)
+	eng.Run()
+	if done != 3 {
+		t.Errorf("late PromoteHits re-fired a delivery: %d completions", done)
+	}
+}
+
 // TestWritebackStaysPostedAndLocal forces a dirty eviction and checks the
 // writeback path: the evicted line's write is posted (no callback), so
 // the receiving channel's work stays lane-local — only the triggering

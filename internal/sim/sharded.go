@@ -150,6 +150,18 @@ type shardSet struct {
 	// so this is purely a wall-clock adaptation.
 	inlineNext bool
 
+	// Adaptive window controller (see tune): the inline dispatch
+	// threshold and the pool's worker target both track the live
+	// counters instead of being compile-time constants. Like inlineNext,
+	// neither can affect simulation results — only which goroutine runs
+	// a window and how big a window must be before the pool is woken.
+	inlineMax  uint64 // events-per-worker threshold for inline windows
+	poolTarget int    // worker goroutines windows should currently use
+	tuneAt     uint64 // value of windows at the last controller update
+	tuneEvents uint64 // events fired in windows since the last update
+	tuneInline uint64 // inline windows since the last update
+	tuneSerial uint64 // serialSteps snapshot at the last update
+
 	// Instrumentation (ShardStats).
 	windows         uint64 // parallel windows executed
 	inlineWindows   uint64 // subset executed inline (small-window path)
@@ -157,11 +169,20 @@ type shardSet struct {
 	laneSerialFired uint64 // subset of Engine.fired that hit lanes
 }
 
-// inlineWindowMax is the events-per-window threshold below which the
-// next window runs inline: dispatching parked workers costs on the
-// order of a microsecond, so a window needs a multiple of the worker
-// count in events before parallel execution can pay for it.
-const inlineWindowMax = 6
+// Adaptive controller bounds. inlineMax is the events-per-window
+// threshold (per worker) below which the next window runs inline:
+// dispatching parked workers costs on the order of a microsecond, so a
+// window needs a multiple of the worker count in events before parallel
+// execution can pay for it. The controller starts at inlineMaxInit (the
+// PR 4 constant) and retunes every tuneInterval windows from the live
+// ShardStats counters — events per window, the inline-window ratio, the
+// serial-fallback rate and the mailbox depth (see tune).
+const (
+	tuneInterval  = 64
+	inlineMaxMin  = 2
+	inlineMaxMax  = 64
+	inlineMaxInit = 6
+)
 
 // NewSharded returns an engine whose components may claim per-shard event
 // lanes (NewLane); windows of provably independent lane-local events run
@@ -171,7 +192,11 @@ func NewSharded(workers int) *Engine {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Engine{shards: &shardSet{workers: workers}}
+	return &Engine{shards: &shardSet{
+		workers:    workers,
+		inlineMax:  inlineMaxInit,
+		poolTarget: workers,
+	}}
 }
 
 // Sharded reports whether the engine was built with NewSharded.
@@ -554,7 +579,10 @@ func (e *Engine) shardedStep(limit clock.Picos) bool {
 // commute across lanes.
 func (e *Engine) runWindow(h clock.Picos) {
 	s := e.shards
-	workers := s.workers
+	workers := s.poolTarget
+	if workers > s.workers {
+		workers = s.workers
+	}
 	if workers > len(s.lanes) {
 		workers = len(s.lanes)
 	}
@@ -569,6 +597,7 @@ func (e *Engine) runWindow(h clock.Picos) {
 	switch {
 	case s.inlineNext:
 		s.inlineWindows++
+		s.tuneInline++
 		for _, l := range s.active {
 			l.runLocal(h)
 		}
@@ -581,13 +610,93 @@ func (e *Engine) runWindow(h clock.Picos) {
 	for _, l := range s.active {
 		after += l.fired
 	}
-	s.inlineNext = after-before < inlineWindowMax*uint64(workers)
+	s.tuneEvents += after - before
+	s.inlineNext = after-before < s.inlineMax*uint64(workers)
+	if s.windows-s.tuneAt >= tuneInterval {
+		s.tune()
+	}
 	// Advance the serial clock to the furthest point the window reached:
 	// every event fired in it was before h, and every remaining event is
 	// at or beyond h, so this can never move time past a pending event.
 	for _, l := range s.lanes {
 		if l.now > e.now {
 			e.now = l.now
+		}
+	}
+}
+
+// tune is the adaptive window controller, run every tuneInterval windows
+// from the live counters. It adjusts two execution-mode knobs — the
+// inline dispatch threshold and the pool's worker target — neither of
+// which can affect simulation results (window events commute and
+// stamping is execution-mode independent), so the cost model is free to
+// chase wall clock:
+//
+//   - inline-window ratio: when nearly every window ran inline the
+//     threshold is too low to ever dispatch the pool profitably — double
+//     it so the few large windows that do appear still go parallel; when
+//     nearly none did, halve it so small lockstep windows stop paying
+//     the dispatch fee.
+//   - events/window vs the threshold: the worker target is how many
+//     goroutines an average window can feed past the inline threshold
+//     each, quantized down to a power of two (hysteresis: pool rebuilds
+//     allocate, so the target must not flap between neighboring sizes).
+//   - serial-fallback rate and mailbox depth: when frontier fires
+//     outnumber window events, or crossings are piling up deeper than
+//     the active lanes can clear, upcoming windows will stay small —
+//     bias the target down a notch before growing the pool into them.
+//
+// A target change parks the current pool; the next window lazily builds
+// one at the new size.
+func (s *shardSet) tune() {
+	dw := s.windows - s.tuneAt
+	inline := s.tuneInline
+	serial := s.serialSteps - s.tuneSerial
+	ev := s.tuneEvents
+	s.tuneAt = s.windows
+	s.tuneInline = 0
+	s.tuneEvents = 0
+	s.tuneSerial = s.serialSteps
+
+	switch {
+	case inline*8 > dw*7 && s.inlineMax < inlineMaxMax:
+		s.inlineMax *= 2
+	case inline*8 < dw && s.inlineMax > inlineMaxMin:
+		s.inlineMax /= 2
+	}
+
+	target := int(ev / dw / s.inlineMax)
+	if serial > ev {
+		target /= 2
+	}
+	mailDepth := 0
+	for _, l := range s.active {
+		mailDepth += len(l.mail)
+	}
+	if mailDepth > 4*len(s.active) {
+		target /= 2
+	}
+	max := s.workers
+	if n := len(s.lanes); n < max {
+		max = n
+	}
+	if target > max {
+		target = max
+	}
+	if target < 2 {
+		target = 2
+	}
+	for q := 2; ; q *= 2 {
+		if q*2 > target {
+			target = q
+			break
+		}
+	}
+	if target != s.poolTarget {
+		s.poolTarget = target
+		if s.pool != nil {
+			s.pool.shutdown()
+			s.pool = nil
 		}
 	}
 }

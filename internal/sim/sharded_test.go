@@ -265,6 +265,71 @@ func TestShardedCancel(t *testing.T) {
 	}
 }
 
+// TestAdaptiveTune exercises the window controller's policy table
+// directly on a synthetic shardSet: threshold doubling/halving on the
+// inline ratio, pool sizing from events/window quantized to a power of
+// two, the serial-fallback bias, and the hard bounds.
+func TestAdaptiveTune(t *testing.T) {
+	mk := func() *shardSet {
+		return &shardSet{workers: 8, lanes: make([]*Lane, 8), inlineMax: inlineMaxInit, poolTarget: 8}
+	}
+
+	// Every window ran inline: the threshold doubles so the rare large
+	// window still dispatches the pool.
+	s := mk()
+	s.windows, s.tuneInline, s.tuneEvents = tuneInterval, tuneInterval, tuneInterval*100
+	s.tune()
+	if s.inlineMax != 2*inlineMaxInit {
+		t.Errorf("all-inline interval: inlineMax = %d, want %d", s.inlineMax, 2*inlineMaxInit)
+	}
+
+	// No window ran inline and windows were tiny: the threshold halves
+	// and the pool parks down to the floor.
+	s = mk()
+	s.windows, s.tuneEvents = tuneInterval, tuneInterval*4
+	s.tune()
+	if s.inlineMax != inlineMaxInit/2 {
+		t.Errorf("no-inline interval: inlineMax = %d, want %d", s.inlineMax, inlineMaxInit/2)
+	}
+	if s.poolTarget != 2 {
+		t.Errorf("tiny windows: poolTarget = %d, want 2", s.poolTarget)
+	}
+
+	// Big windows keep the pool at the worker cap.
+	s = mk()
+	s.windows, s.tuneEvents = tuneInterval, tuneInterval*1000
+	s.tune()
+	if s.poolTarget != 8 {
+		t.Errorf("big windows: poolTarget = %d, want 8", s.poolTarget)
+	}
+
+	// A serial-dominated interval biases the target down a notch, and the
+	// result lands on a power of two.
+	s = mk()
+	s.windows, s.tuneEvents = tuneInterval, tuneInterval*40
+	s.serialSteps = tuneInterval * 100
+	s.tune()
+	if s.poolTarget != 4 {
+		t.Errorf("serial-biased interval: poolTarget = %d, want 4", s.poolTarget)
+	}
+
+	// Bounds hold at both extremes.
+	s = mk()
+	s.inlineMax = inlineMaxMax
+	s.windows, s.tuneInline, s.tuneEvents = tuneInterval, tuneInterval, tuneInterval
+	s.tune()
+	if s.inlineMax != inlineMaxMax {
+		t.Errorf("inlineMax grew past the cap: %d", s.inlineMax)
+	}
+	s = mk()
+	s.inlineMax = inlineMaxMin
+	s.windows, s.tuneEvents = tuneInterval, tuneInterval
+	s.tune()
+	if s.inlineMax != inlineMaxMin {
+		t.Errorf("inlineMax shrank past the floor: %d", s.inlineMax)
+	}
+}
+
 // TestSerialEngineIsAScheduler pins that a plain engine satisfies the
 // Scheduler surface lanes offer, so components shard transparently.
 func TestSerialEngineIsAScheduler(t *testing.T) {

@@ -185,6 +185,13 @@ type ShardStats struct {
 	Windows       uint64
 	InlineWindows uint64
 	SerialSteps   uint64
+	// InlineMax and PoolTarget are the adaptive controller's current
+	// settings: the events-per-worker threshold below which a window runs
+	// inline, and how many pool goroutines windows currently dispatch to
+	// (capped by Workers and the lane count). Both start at their
+	// construction defaults and retune from the live counters.
+	InlineMax  uint64
+	PoolTarget int
 	// HostFired/HostPending describe the host lane (lane 0).
 	HostFired   uint64
 	HostPending int
@@ -202,6 +209,8 @@ func (e *Engine) ShardStats() ShardStats {
 		Windows:       s.windows,
 		InlineWindows: s.inlineWindows,
 		SerialSteps:   s.serialSteps,
+		InlineMax:     s.inlineMax,
+		PoolTarget:    s.poolTarget,
 		HostFired:     e.fired - s.laneSerialFired,
 		HostPending:   len(e.heap),
 	}
@@ -225,14 +234,44 @@ func (e *Engine) ShardStats() ShardStats {
 	return st
 }
 
+// ResetStats zeros the execution counters ShardStats reports — fired
+// counts, window/serial tallies, mailbox peaks and the adaptive
+// controller's accumulators — so an engine reused across Run calls
+// (the harness pattern) attributes each run's activity to that run
+// alone. Queue state (scheduled events, mailboxes, clocks) and the
+// controller's learned settings (InlineMax, PoolTarget) are kept: the
+// next run starts tuned, not from scratch. Call from host context, like
+// ShardStats; a plain engine only resets its fired count.
+func (e *Engine) ResetStats() {
+	e.fired = 0
+	if e.shards == nil {
+		return
+	}
+	s := e.shards
+	s.windows = 0
+	s.inlineWindows = 0
+	s.serialSteps = 0
+	s.laneSerialFired = 0
+	s.tuneAt = 0
+	s.tuneEvents = 0
+	s.tuneInline = 0
+	s.tuneSerial = 0
+	for _, l := range s.lanes {
+		l.fired = 0
+		l.serialFired = 0
+		l.windows = 0
+		l.mailPeak = len(l.mail)
+	}
+}
+
 // String renders the snapshot as one aligned block for -lane-stats
 // style diagnostics.
 func (st ShardStats) String() string {
 	if st.Lanes == nil {
 		return "plain engine (no lanes)\n"
 	}
-	out := fmt.Sprintf("workers=%d windows=%d (inline %d) serial-steps=%d host fired=%d pending=%d\n",
-		st.Workers, st.Windows, st.InlineWindows, st.SerialSteps, st.HostFired, st.HostPending)
+	out := fmt.Sprintf("workers=%d (pool target %d) windows=%d (inline %d, threshold %d) serial-steps=%d host fired=%d pending=%d\n",
+		st.Workers, st.PoolTarget, st.Windows, st.InlineWindows, st.InlineMax, st.SerialSteps, st.HostFired, st.HostPending)
 	for _, l := range st.Lanes {
 		out += fmt.Sprintf("  %-10s lookahead=%-12v fired=%d (window %d / serial %d) windows=%d mailbox=%d peak=%d\n",
 			l.Name, l.Lookahead, l.Fired, l.WindowFired, l.SerialFired, l.Windows, l.Mailbox, l.MailboxPeak)

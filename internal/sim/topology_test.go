@@ -153,6 +153,67 @@ func TestShardStatsCounters(t *testing.T) {
 	}
 }
 
+// TestResetStats pins the reuse contract: after ResetStats an engine
+// reports only the activity of runs that follow, while queue state and
+// the controller's learned settings survive.
+func TestResetStats(t *testing.T) {
+	eng := NewSharded(4)
+	h := buildHarness(eng, 4, 300)
+	eng.Run()
+	if eng.Fired() == 0 || eng.ShardStats().Windows == 0 {
+		t.Fatal("first run recorded no activity")
+	}
+	tuned := eng.ShardStats()
+	eng.ResetStats()
+	st := eng.ShardStats()
+	if st.Windows != 0 || st.InlineWindows != 0 || st.SerialSteps != 0 || st.HostFired != 0 {
+		t.Errorf("engine counters survived ResetStats: %+v", st)
+	}
+	if st.InlineMax != tuned.InlineMax || st.PoolTarget != tuned.PoolTarget {
+		t.Errorf("ResetStats dropped controller settings: %d/%d, want %d/%d",
+			st.InlineMax, st.PoolTarget, tuned.InlineMax, tuned.PoolTarget)
+	}
+	for i, l := range st.Lanes {
+		if l.Fired != 0 || l.WindowFired != 0 || l.SerialFired != 0 || l.Windows != 0 {
+			t.Errorf("lane %d counters survived ResetStats: %+v", i, l)
+		}
+		if l.MailboxPeak != l.Mailbox {
+			t.Errorf("lane %d MailboxPeak = %d, want current depth %d", i, l.MailboxPeak, l.Mailbox)
+		}
+	}
+	if eng.Fired() != 0 {
+		t.Errorf("Fired = %d after ResetStats", eng.Fired())
+	}
+	// A second run on the same engine attributes only its own events.
+	for _, l := range h.lanes {
+		l.remaining = 100
+		l.sched.ScheduleLocal(&l.tick, l.sched.Now()+l.step)
+	}
+	eng.Run()
+	again := eng.ShardStats()
+	var laneFired uint64
+	for _, l := range again.Lanes {
+		laneFired += l.Fired
+	}
+	if laneFired+again.HostFired != eng.Fired() {
+		t.Errorf("second run: lane fires %d + host %d != engine total %d",
+			laneFired, again.HostFired, eng.Fired())
+	}
+	if laneFired == 0 {
+		t.Error("second run recorded no lane activity")
+	}
+	// A plain engine resets its fired count and nothing else.
+	p := New()
+	var ev Event
+	ev.Init(HandlerFunc(func(clock.Picos) {}))
+	p.Schedule(&ev, 10)
+	p.Run()
+	p.ResetStats()
+	if p.Fired() != 0 {
+		t.Errorf("plain engine Fired = %d after ResetStats", p.Fired())
+	}
+}
+
 // TestShardStatsPlainEngine pins the plain-engine snapshot: a zero value
 // with nil lanes, so callers can gate diagnostics on it.
 func TestShardStatsPlainEngine(t *testing.T) {

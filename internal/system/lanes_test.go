@@ -17,11 +17,12 @@ func TestLaneFlagValidation(t *testing.T) {
 		shards, coreLanes int
 		wantErr           string
 	}{
-		{"negative shards", -1, 0, "negative shard count"},
-		{"negative core lanes", 1, -2, "negative core-lane count"},
+		{"negative shards", -2, 0, "invalid shard count"},
+		{"negative core lanes", 1, -2, "invalid core-lane count"},
 		{"core lanes without shards", 0, 4, "requires a sharded engine"},
 		{"plain ok", 0, 0, ""},
 		{"sharded ok", 4, 8, ""},
+		{"auto ok", Auto, Auto, ""},
 	}
 	for _, tc := range cases {
 		cfg := DefaultConfig(PIMMMU)
@@ -90,7 +91,7 @@ func TestLaneFlagClamping(t *testing.T) {
 
 // TestNormalizeLaneFlags covers the CLI-facing wrapper.
 func TestNormalizeLaneFlags(t *testing.T) {
-	if _, _, _, err := NormalizeLaneFlags(-1, 0); err == nil {
+	if _, _, _, err := NormalizeLaneFlags(-2, 0); err == nil {
 		t.Error("negative -shards accepted")
 	}
 	if _, _, _, err := NormalizeLaneFlags(0, 3); err == nil {
@@ -102,6 +103,58 @@ func TestNormalizeLaneFlags(t *testing.T) {
 	}
 	if sh != 2 || cl != DefaultConfig(PIMMMU).CPU.Cores || len(warns) != 1 {
 		t.Errorf("NormalizeLaneFlags(2, 100) = %d, %d, %v", sh, cl, warns)
+	}
+	// Auto passes through as the sentinel (resolution happens inside
+	// New, keeping CLI cache keys machine-independent), with no warning.
+	sh, cl, warns, err = NormalizeLaneFlags(Auto, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh != Auto || cl != Auto || len(warns) != 0 {
+		t.Errorf("NormalizeLaneFlags(auto, auto) = %d, %d, %v; want sentinels, no warnings", sh, cl, warns)
+	}
+}
+
+// TestParseLaneFlag covers the flag-string form of the lane knobs.
+func TestParseLaneFlag(t *testing.T) {
+	if n, err := ParseLaneFlag("auto"); err != nil || n != Auto {
+		t.Errorf(`ParseLaneFlag("auto") = %d, %v; want Auto`, n, err)
+	}
+	if n, err := ParseLaneFlag("4"); err != nil || n != 4 {
+		t.Errorf(`ParseLaneFlag("4") = %d, %v; want 4`, n, err)
+	}
+	if _, err := ParseLaneFlag("many"); err == nil {
+		t.Error(`ParseLaneFlag("many") accepted`)
+	}
+}
+
+// TestAutoResolution pins what the sentinels resolve to: CoreLanes=auto
+// becomes one lane per configured core (never a host-dependent count),
+// Shards=auto the lane count capped by the host's CPUs.
+func TestAutoResolution(t *testing.T) {
+	cfg := DefaultConfig(PIMMMU)
+	cfg.Shards = Auto
+	cfg.CoreLanes = Auto
+	norm, warns := cfg.Normalize()
+	if len(warns) != 0 {
+		t.Errorf("auto resolution warned: %v", warns)
+	}
+	if norm.CoreLanes != cfg.CPU.Cores {
+		t.Errorf("CoreLanes=auto resolved to %d, want one per core (%d)", norm.CoreLanes, cfg.CPU.Cores)
+	}
+	if norm.Shards < 1 {
+		t.Errorf("Shards=auto resolved to %d, want >= 1", norm.Shards)
+	}
+	if max := norm.laneCount(); norm.Shards > max {
+		t.Errorf("Shards=auto resolved to %d, beyond the %d-lane topology", norm.Shards, max)
+	}
+	// The auto machine builds and runs.
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.CPU.Lanes != cfg.CPU.Cores {
+		t.Errorf("built machine uses %d core lanes, want %d", s.Cfg.CPU.Lanes, cfg.CPU.Cores)
 	}
 }
 

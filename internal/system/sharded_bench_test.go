@@ -7,6 +7,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/contend"
 	"repro/internal/cpu"
+	"repro/internal/mem"
 	"repro/internal/system"
 )
 
@@ -73,30 +74,137 @@ func BenchmarkEngineShardedCores(b *testing.B) {
 	}
 }
 
+// hitLoop returns a hit-dominated contender: bursts of LLC-hit loads
+// inside a 16 KB working set separated by one short lane-local compute
+// chunk. Where Spin spends 4096 cycles of compute per load, hitLoop
+// issues four loads per 512 cycles — the completion stream is almost
+// entirely LLC-hit deliveries, which is exactly the traffic the
+// per-requester delivery path takes off the serial frontier.
+func hitLoop(st *contend.Stopper, base uint64) cpu.Program {
+	const (
+		chunkCycles = 512
+		burstLoads  = 4
+		wsetBytes   = 16 << 10
+	)
+	i, phase := 0, 0
+	return cpu.ProgramFunc(func() (cpu.Op, bool) {
+		if st.Stopped() {
+			return cpu.Op{}, false
+		}
+		if phase < burstLoads {
+			phase++
+			addr := base + uint64(i%(wsetBytes/mem.LineBytes))*mem.LineBytes
+			i++
+			return cpu.Op{Kind: cpu.OpLoad, Addr: addr}, true
+		}
+		phase = 0
+		return cpu.Op{Kind: cpu.OpCompute, Cycles: chunkCycles}, true
+	})
+}
+
+// benchHitContenders is benchContenders with the hit-dominated workload
+// and an oversubscribed thread count, so quantum rotations exercise the
+// delivery-promotion path under load.
+func benchHitContenders(shards, coreLanes, n int, simTime clock.Picos) *system.System {
+	cfg := system.DefaultConfig(system.Base)
+	cfg.Shards = shards
+	cfg.CoreLanes = coreLanes
+	s := system.MustNew(cfg)
+	const wset = 16 << 10
+	base := s.Alloc(uint64(n) * wset)
+	st := s.Contenders(n, func(i int, st *contend.Stopper) cpu.Program {
+		return hitLoop(st, base+uint64(i)*wset)
+	})
+	s.Eng.RunUntil(simTime)
+	st.Stop()
+	return s
+}
+
+// BenchmarkEngineContendedHits measures the tentpole payoff on the
+// contender path itself: a hit-dominated Fig. 13-style workload where
+// nearly every completion is an LLC-hit delivery. With per-requester
+// delivery those completions ride the issuing core's lane and execute
+// inside that lane's windows, so on a multi-core host the 16 threads'
+// delivery streams drain in parallel instead of one at a time at the
+// frontier. On a single-CPU runner the laned rows sit at parity with
+// the host-queue baseline (each hit is followed by a crossing enqueue,
+// so the frontier still paces per-load progress when windows cannot
+// overlap) — there the payoff row is auto, which sizes workers to the
+// host and keeps the cheap serial hit path. The auto row runs the
+// adaptive controller end to end: Normalize sizes the topology to the
+// host, the controller tunes window thresholds and the worker pool from
+// live ShardStats.
+func BenchmarkEngineContendedHits(b *testing.B) {
+	const (
+		contenders = 16
+		simTime    = 2 * clock.Millisecond
+	)
+	for _, p := range []struct {
+		name              string
+		shards, coreLanes int
+	}{
+		{"serial", 0, 0},
+		{"lanes1", 1, 8},
+		{"lanes8", 8, 8},
+		{"host-lanes8", 8, 0},
+		{"auto", system.Auto, system.Auto},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			var memOps uint64
+			for i := 0; i < b.N; i++ {
+				s := benchHitContenders(p.shards, p.coreLanes, contenders, simTime)
+				memOps = 0
+				for _, c := range s.CPU.Cores() {
+					if t := c.Thread(); t != nil {
+						memOps += t.MemOps
+					}
+				}
+			}
+			b.ReportMetric(float64(memOps), "memops")
+		})
+	}
+}
+
 // TestBenchContendersDeterministic pins that the benchmark workload
 // itself is lane-topology invariant — per-thread progress and engine
 // event counts match bit for bit — so the speedup comparison is apples
 // to apples.
 func TestBenchContendersDeterministic(t *testing.T) {
-	snap := func(shards, coreLanes int) string {
-		s := benchContenders(shards, coreLanes, 8, 2*clock.Millisecond)
-		out := fmt.Sprintf("now=%v", s.Eng.Now())
-		for _, c := range s.CPU.Cores() {
-			if th := c.Thread(); th != nil {
-				out += fmt.Sprintf(" [%s ops=%d busy=%v]", th.Name, th.MemOps, c.BusyTime())
-			}
-		}
-		ls := s.Mem.LLC.Stats()
-		out += fmt.Sprintf(" llc=%d/%d", ls.Hits, ls.Misses)
-		return out
+	workloads := []struct {
+		name  string
+		build func(shards, coreLanes int) *system.System
+	}{
+		{"spin", func(sh, cl int) *system.System {
+			return benchContenders(sh, cl, 8, 2*clock.Millisecond)
+		}},
+		{"hit-loop", func(sh, cl int) *system.System {
+			return benchHitContenders(sh, cl, 16, clock.Millisecond)
+		}},
 	}
-	want := snap(0, 0)
-	for _, p := range []struct{ shards, coreLanes int }{
-		{1, 0}, {1, 4}, {2, 2}, {4, 8}, {8, 8},
-	} {
-		if got := snap(p.shards, p.coreLanes); got != want {
-			t.Errorf("shards=%d core-lanes=%d diverged:\nwant %s\ngot  %s",
-				p.shards, p.coreLanes, want, got)
-		}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			snap := func(shards, coreLanes int) string {
+				s := w.build(shards, coreLanes)
+				out := fmt.Sprintf("now=%v", s.Eng.Now())
+				for _, c := range s.CPU.Cores() {
+					if th := c.Thread(); th != nil {
+						out += fmt.Sprintf(" [%s ops=%d busy=%v]", th.Name, th.MemOps, c.BusyTime())
+					}
+				}
+				ls := s.Mem.LLC.Stats()
+				out += fmt.Sprintf(" llc=%d/%d", ls.Hits, ls.Misses)
+				return out
+			}
+			want := snap(0, 0)
+			for _, p := range []struct{ shards, coreLanes int }{
+				{1, 0}, {1, 4}, {2, 2}, {4, 8}, {8, 8},
+				{system.Auto, system.Auto},
+			} {
+				if got := snap(p.shards, p.coreLanes); got != want {
+					t.Errorf("shards=%d core-lanes=%d diverged:\nwant %s\ngot  %s",
+						p.shards, p.coreLanes, want, got)
+				}
+			}
+		})
 	}
 }

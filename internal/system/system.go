@@ -8,6 +8,8 @@ package system
 
 import (
 	"fmt"
+	"runtime"
+	"strconv"
 
 	"repro/internal/clock"
 	"repro/internal/contend"
@@ -92,23 +94,49 @@ type Config struct {
 	// engine from the machine's lane topology (see Topology): 1 executes
 	// everything serially — the determinism reference — while >= 2 runs
 	// conservative windows of lane-local events across that many worker
-	// goroutines. Sharded output is byte-identical across all shard
-	// counts >= 1 by construction; only wall-clock time changes. The
-	// plain engine agrees with the sharded one everywhere except the tie
-	// order of events scheduled at identical timestamps from identical
-	// instants, where each engine uses its own (equally valid,
-	// bit-stable) canonical order; the golden command streams and replay
-	// metrics are pinned identical across both by the cross-shard
-	// regression tests.
+	// goroutines. Auto sizes the worker pool to the machine (see Auto).
+	// Sharded output is byte-identical across all shard counts >= 1 by
+	// construction; only wall-clock time changes. The plain engine agrees
+	// with the sharded one everywhere except the tie order of events
+	// scheduled at identical timestamps from identical instants, where
+	// each engine uses its own (equally valid, bit-stable) canonical
+	// order; the golden command streams and replay metrics are pinned
+	// identical across both by the cross-shard regression tests.
 	Shards int
 	// CoreLanes adds per-core host lanes to the topology: CPU core i
 	// schedules on lane "core:<i mod CoreLanes>", with the LLC as the
 	// crossing boundary (cores only interact through the memory system
 	// and the OS scheduler quantum). 0 (the default) keeps every core on
-	// the host lane — PR 3 behavior. Requires Shards >= 1; output is
-	// byte-identical across every core-lane count, pinned by the
-	// cross-shard regression tests.
+	// the host lane — PR 3 behavior; Auto claims one lane per core.
+	// Requires Shards >= 1; output is byte-identical across every
+	// core-lane count, pinned by the cross-shard regression tests.
 	CoreLanes int
+}
+
+// Auto is the adaptive sentinel for Config.Shards and Config.CoreLanes
+// (CLI spelling "auto"). Normalize resolves it against the machine:
+// CoreLanes=Auto claims one event lane per configured CPU core, and
+// Shards=Auto sizes the worker pool to min(lane count, runtime.NumCPU())
+// — from there the engine's adaptive window controller parks or wakes
+// pool workers per run (sim.ShardStats.InlineMax / PoolTarget). The
+// resolution is results-neutral: worker counts never affect simulation
+// output, and the core-lane count resolves from the configured core
+// count, never from the host — so "auto" produces byte-identical results
+// on every machine, only different wall-clock time.
+const Auto = -1
+
+// ParseLaneFlag parses one -shards / -core-lanes CLI value: "auto"
+// selects adaptive sizing (Auto); anything else must be an integer
+// count.
+func ParseLaneFlag(s string) (int, error) {
+	if s == "auto" {
+		return Auto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("system: lane flag %q (want a count or \"auto\")", s)
+	}
+	return n, nil
 }
 
 // Topology is the machine's lane topology, the declarative input
@@ -156,12 +184,26 @@ func (c Config) CoreLaneLookahead() clock.Picos {
 	return la
 }
 
-// Normalize clamps out-of-range lane settings to their effective values
-// and reports one warning string per adjustment (the CLIs print them;
-// New applies the same clamps silently). Invalid — rather than merely
-// excessive — settings are Validate errors, not clamps.
+// Normalize resolves Auto sentinels against the machine, clamps
+// out-of-range lane settings to their effective values, and reports one
+// warning string per clamp (the CLIs print them; New applies the same
+// normalization silently). Invalid — rather than merely excessive —
+// settings are Validate errors, not clamps. Auto resolution warns
+// nothing: it is requested behavior, not a correction.
 func (c Config) Normalize() (Config, []string) {
 	var warns []string
+	if c.CoreLanes == Auto {
+		c.CoreLanes = c.CPU.Cores
+	}
+	if c.Shards == Auto {
+		c.Shards = c.laneCount()
+		if n := runtime.NumCPU(); n < c.Shards {
+			c.Shards = n
+		}
+		if c.Shards < 1 {
+			c.Shards = 1
+		}
+	}
 	if c.CoreLanes > c.CPU.Cores {
 		warns = append(warns, fmt.Sprintf(
 			"core lanes %d exceed the %d CPU cores; clamping to %d (extra lanes would idle)",
@@ -184,18 +226,27 @@ func (c Config) laneCount() int {
 }
 
 // NormalizeLaneFlags validates and normalizes the CLIs' -shards /
-// -core-lanes flags against the Table I machine: negative values and
+// -core-lanes flags against the Table I machine: values below Auto and
 // core lanes without a sharded engine are errors; excessive values clamp
 // with a warning string per adjustment. The returned values are the
-// effective settings to apply.
+// effective settings to apply — except that Auto stays Auto: the
+// sentinel resolves machine-dependently (runtime.NumCPU) inside New,
+// and callers fingerprint these values into cache keys that must stay
+// machine-independent.
 func NormalizeLaneFlags(shards, coreLanes int) (int, int, []string, error) {
 	cfg := DefaultConfig(PIMMMU)
 	cfg.Shards = shards
 	cfg.CoreLanes = coreLanes
-	if shards < 0 || coreLanes < 0 || (coreLanes > 0 && shards == 0) {
+	if shards < Auto || coreLanes < Auto || (coreLanes != 0 && shards == 0) {
 		return 0, 0, nil, cfg.Validate()
 	}
 	cfg, warns := cfg.Normalize()
+	if shards == Auto {
+		cfg.Shards = Auto
+	}
+	if coreLanes == Auto {
+		cfg.CoreLanes = Auto
+	}
 	return cfg.Shards, cfg.CoreLanes, warns, nil
 }
 
@@ -230,14 +281,14 @@ func DefaultConfig(d Design) Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if c.Shards < 0 {
-		return fmt.Errorf("system: negative shard count %d (0 = plain engine, >= 1 = sharded)", c.Shards)
+	if c.Shards < Auto {
+		return fmt.Errorf("system: invalid shard count %d (0 = plain engine, >= 1 = sharded, Auto = adaptive)", c.Shards)
 	}
-	if c.CoreLanes < 0 {
-		return fmt.Errorf("system: negative core-lane count %d", c.CoreLanes)
+	if c.CoreLanes < Auto {
+		return fmt.Errorf("system: invalid core-lane count %d", c.CoreLanes)
 	}
-	if c.CoreLanes > 0 && c.Shards == 0 {
-		return fmt.Errorf("system: CoreLanes=%d requires a sharded engine (set Shards >= 1)", c.CoreLanes)
+	if c.CoreLanes != 0 && c.Shards == 0 {
+		return fmt.Errorf("system: CoreLanes=%d requires a sharded engine (set Shards >= 1 or auto)", c.CoreLanes)
 	}
 	if err := c.CPU.Validate(); err != nil {
 		return err

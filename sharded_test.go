@@ -25,14 +25,22 @@ import (
 type laneTopo struct{ shards, coreLanes int }
 
 func (lt laneTopo) String() string {
-	return fmt.Sprintf("shards=%d,core-lanes=%d", lt.shards, lt.coreLanes)
+	n := func(v int) string {
+		if v == system.Auto {
+			return "auto"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("shards=%s,core-lanes=%s", n(lt.shards), n(lt.coreLanes))
 }
 
 // laneTopos is the topology axis every invariant is checked across: the
 // plain serial engine (0,0); the sharded queue executed serially with
 // core-lane counts 0/1/2/4 (per the acceptance contract, including
 // lane-sharing partitions of the 8 cores); and combined channel x core
-// window execution at 2 and 4 workers up to one lane per core. The
+// window execution at 2 and 4 workers up to one lane per core; and the
+// adaptive auto sizing (shards and core lanes resolved per host by
+// Normalize, window thresholds tuned at run time by the controller). The
 // first entry is the reference; everything after must match it bit for
 // bit.
 var laneTopos = []laneTopo{
@@ -44,6 +52,7 @@ var laneTopos = []laneTopo{
 	{2, 2},
 	{2, 4},
 	{4, 8},
+	{system.Auto, system.Auto},
 }
 
 // shardCounts is the legacy shard-only axis kept for workloads where the
