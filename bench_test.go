@@ -23,6 +23,7 @@ import (
 	"repro/internal/prim"
 	"repro/internal/sweep"
 	"repro/internal/system"
+	"repro/internal/trace"
 	"repro/internal/xfer"
 )
 
@@ -397,6 +398,42 @@ func BenchmarkAblationOSQuantum(b *testing.B) {
 			b.ReportMetric(secs*1e3, "xfer-ms")
 		})
 	}
+}
+
+// BenchmarkLoadCurveTail regenerates the loadcurve experiment's
+// tail-latency trajectory at one contended point: an open-loop 16 GB/s
+// Poisson stream (the first point past the Base knee) on Base and
+// PIM-MMU, reporting the p99/p99.9 end-to-end latency each design
+// delivers. BENCH_figs.json tracks these four tail metrics over time.
+func BenchmarkLoadCurveTail(b *testing.B) {
+	gen := trace.DefaultGenConfig()
+	gen.FootprintLines = 1 << 16 // 4 MiB
+	dcfg := trace.DefaultDriverConfig()
+	dcfg.MeanGap = 4 * clock.Nanosecond // 16 GB/s offered
+	dcfg.Duration = dcfg.MeanGap * 8192
+	designs := []system.Design{system.Base, system.PIMMMU}
+	var p99, p999 [2]float64
+	for i := 0; i < b.N; i++ {
+		res := sweep.Map(len(designs), func(j int) trace.LoadResult {
+			s := system.MustNew(system.DefaultConfig(designs[j]))
+			g := gen
+			g.Base = s.Alloc(g.FootprintBytes(trace.PatternMixed))
+			recs := trace.MustGenerate(trace.PatternMixed, g)
+			r, err := s.RunLoad(recs, dcfg)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		})
+		for j := range designs {
+			p99[j] = res[j].Total.P99().Nanoseconds()
+			p999[j] = res[j].Total.P999().Nanoseconds()
+		}
+	}
+	b.ReportMetric(p99[0], "base-p99-ns")
+	b.ReportMetric(p999[0], "base-p999-ns")
+	b.ReportMetric(p99[1], "mmu-p99-ns")
+	b.ReportMetric(p999[1], "mmu-p999-ns")
 }
 
 // BenchmarkHarnessQuickTable1 exercises the harness printer path.

@@ -7,6 +7,7 @@
 //	pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
 //	pimmu-replay inspect [-n N] FILE
 //	pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
+//	pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,...] [-n N] [-slo-ns N] [-seed S] [... replay's topology and cache flags]
 //
 // record captures every request a transfer presents to the memory port
 // of the chosen design; gen synthesizes one of the built-in application
@@ -24,7 +25,16 @@
 // system.Config.Shards). -lane-stats dumps each machine's per-lane
 // event counters to stderr after its replay; cache hits skip the dump.
 //
-// replay's -cache-dir enables the content-addressed result cache: each
+// load sweeps an open-loop arrival process (fixed-rate, poisson, or
+// bursty on/off) over an offered-load axis on Base and PIM-MMU: unlike
+// replay, arrivals accrue on the simulated clock regardless of memory
+// backpressure, so each point reports the end-to-end latency tail
+// (p50/p99/p99.9, arrival to completion) and the p99 queueing delay at
+// that offered load, plus the SLO knee — the maximum offered load whose
+// p99 meets -slo-ns. The same determinism and caching contracts as
+// replay apply.
+//
+// replay's and load's -cache-dir enables the content-addressed result cache: each
 // (machine fingerprint, trace identity, replay config, code version)
 // result is served from disk when already computed. The trace identity
 // is a digest of the canonical binary encoding of the records, so the
@@ -39,10 +49,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/resultcache"
 	"repro/internal/sweep"
 	"repro/internal/system"
@@ -64,6 +77,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -84,6 +99,7 @@ func usage() {
   pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
   pimmu-replay inspect [-n N] FILE
   pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
+  pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,NS,...] [-n N] [-slo-ns N] [-seed S] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro]
 `)
 }
 
@@ -306,6 +322,188 @@ func cmdReplay(args []string) error {
 		r.AvgLatency(), r.Latency.P50(), r.Latency.P95(), r.Latency.P99())
 	fmt.Printf("pressure   %d retries, %v max slip behind the trace clock\n", r.Retries, r.Slip)
 	return nil
+}
+
+// cmdLoad sweeps an open-loop arrival process over an offered-load axis
+// on Base and PIM-MMU and renders the latency-vs-load curve with its
+// SLO knee. Unlike replay, there is no trace file: the synthetic
+// pattern supplies addresses, the arrival process supplies timing.
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	process := fs.String("process", "poisson", "arrival process: fixed, poisson, or burst")
+	pattern := fs.String("pattern", "mixed", "address pattern: stream, strided, chase, mixed, or zipf")
+	gapsFlag := fs.String("gaps", "32,16,8,4,2,1", "offered-load axis as mean inter-arrival gaps in ns (one 64 B line per gap)")
+	n := fs.Int("n", 1<<13, "arrivals per load point")
+	sloNS := fs.Int64("slo-ns", 2000, "latency SLO on the p99 end-to-end latency, in ns")
+	seed := fs.Uint64("seed", 1, "PRNG seed for the pattern and the poisson process")
+	workers := fs.Int("workers", 0, "parallel simulations (0 = all cores, 1 = serial)")
+	shards := fs.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
+	coreLanes := fs.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
+	laneStats := fs.Bool("lane-stats", false, "dump per-lane event counters to stderr after each run")
+	inflight := fs.Int("inflight", 64, "max outstanding line requests")
+	noncache := fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region requests")
+	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = caching off)")
+	cacheMode := fs.String("cache", "rw", "result-cache mode: off, rw, or ro")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("load: unexpected arguments %v", fs.Args())
+	}
+	dumpLaneStats = *laneStats
+	shardsN, err := system.ParseLaneFlag(*shards)
+	if err != nil {
+		return fmt.Errorf("load: -shards: %w", err)
+	}
+	coreLanesN, err := system.ParseLaneFlag(*coreLanes)
+	if err != nil {
+		return fmt.Errorf("load: -core-lanes: %w", err)
+	}
+	sh, cl, warns, err := system.NormalizeLaneFlags(shardsN, coreLanesN)
+	if err != nil {
+		return err
+	}
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "pimmu-replay: warning: %s\n", w)
+	}
+	gaps, err := parseGaps(*gapsFlag)
+	if err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("load: non-positive arrival count %d", *n)
+	}
+	slo := clock.Picos(*sloNS) * clock.Nanosecond
+
+	gcfg := trace.DefaultGenConfig()
+	gcfg.FootprintLines = 1 << 18 // 16 MiB: past the LLC, so DRAM decides
+	gcfg.Seed = *seed
+	dcfgAt := func(gap clock.Picos) trace.DriverConfig {
+		dcfg := trace.DefaultDriverConfig()
+		dcfg.Process = trace.Process(*process)
+		dcfg.MeanGap = gap
+		dcfg.Duration = gap * clock.Picos(*n)
+		dcfg.Seed = *seed
+		dcfg.MaxInFlight = *inflight
+		dcfg.Cacheable = !*noncache
+		return dcfg
+	}
+	if err := dcfgAt(gaps[0]).Validate(); err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+
+	store, err := resultcache.OpenFlags(*cacheDir, *cacheMode)
+	if err != nil {
+		return err
+	}
+	var cache sweep.Cache
+	if store != nil {
+		cache = store
+		defer func() { fmt.Fprintf(os.Stderr, "pimmu-replay: cache: %v\n", store.Stats()) }()
+	}
+	sweep.SetWorkers(*workers)
+
+	designs := []system.Design{system.Base, system.PIMMMU}
+	type gridPoint struct{ gi, di int }
+	pts := make([]gridPoint, 0, len(gaps)*len(designs))
+	for gi := range gaps {
+		for di := range designs {
+			pts = append(pts, gridPoint{gi, di})
+		}
+	}
+	results := sweep.MapCached(cache, len(pts), func(i int) string {
+		p := pts[i]
+		scfg := system.DefaultConfig(designs[p.di])
+		scfg.Shards = sh
+		scfg.CoreLanes = cl
+		return resultcache.KeyOf("pimmu-load/v1", resultcache.CodeVersion(), scfg.Fingerprint(),
+			fmt.Sprintf("pattern=%s gen=%s dcfg=%s", *pattern,
+				resultcache.Canonical(gcfg), resultcache.Canonical(dcfgAt(gaps[p.gi]))))
+	}, func(i int) trace.LoadResult {
+		p := pts[i]
+		return loadOn(designs[p.di], sh, cl, trace.Pattern(*pattern), gcfg, dcfgAt(gaps[p.gi]))
+	})
+
+	fmt.Printf("%s arrivals, %s pattern, %d arrivals/point, max %d in flight\n\n",
+		*process, *pattern, *n, *inflight)
+	fmt.Printf("%-16s %24s %24s %16s %16s\n", "offered (GB/s)",
+		"Base p50/p99/p99.9 (ns)", "PIM-MMU p50/p99/p99.9 (ns)",
+		"Base q99 (ns)", "PIM-MMU q99 (ns)")
+	knee := make([]clock.Picos, len(designs))
+	for gi, gap := range gaps {
+		b := results[gi*len(designs)]
+		m := results[gi*len(designs)+1]
+		fmt.Printf("%-16.2f %24s %24s %16.0f %16.0f\n",
+			dcfgAt(gap).OfferedLoad()/1e9,
+			tail999(&b.Total), tail999(&m.Total),
+			b.Queue.P99().Nanoseconds(), m.Queue.P99().Nanoseconds())
+		for di := range designs {
+			r := results[gi*len(designs)+di]
+			if r.Total.P99() <= slo && (knee[di] == 0 || gap < knee[di]) {
+				knee[di] = gap
+			}
+		}
+	}
+	fmt.Printf("\nmax load @ p99 <= %v: Base %s, PIM-MMU %s\n",
+		slo, kneeGBs(knee[0]), kneeGBs(knee[1]))
+	return nil
+}
+
+// parseGaps parses the comma-separated -gaps axis (nanoseconds).
+func parseGaps(s string) ([]clock.Picos, error) {
+	var gaps []clock.Picos
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("load: bad gap %q in -gaps", f)
+		}
+		gaps = append(gaps, clock.Picos(v*float64(clock.Nanosecond)))
+	}
+	if len(gaps) == 0 {
+		return nil, fmt.Errorf("load: empty -gaps axis")
+	}
+	return gaps, nil
+}
+
+// tail999 renders p50/p99/p99.9 bucket upper bounds in whole ns.
+func tail999(h *trace.LatencyHist) string {
+	return fmt.Sprintf("%.0f/%.0f/%.0f",
+		h.P50().Nanoseconds(), h.P99().Nanoseconds(), h.P999().Nanoseconds())
+}
+
+// kneeGBs renders one design's SLO knee as its offered load, or "-"
+// when no point on the axis met the objective.
+func kneeGBs(gap clock.Picos) string {
+	if gap == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f GB/s", float64(mem.LineBytes)/gap.Seconds()/1e9)
+}
+
+// loadOn runs one open-loop point on a fresh machine of the given
+// design: the pattern supplies addresses (its footprint allocated on the
+// machine), the driver config supplies arrivals.
+func loadOn(d system.Design, shards, coreLanes int, p trace.Pattern, gcfg trace.GenConfig, dcfg trace.DriverConfig) trace.LoadResult {
+	scfg := system.DefaultConfig(d)
+	scfg.Shards = shards
+	scfg.CoreLanes = coreLanes
+	s := system.MustNew(scfg)
+	gcfg.Base = s.Alloc(gcfg.FootprintBytes(p))
+	recs, err := trace.Generate(p, gcfg)
+	if err != nil {
+		panic(err)
+	}
+	r, err := s.RunLoad(recs, dcfg)
+	if err != nil {
+		panic(err)
+	}
+	if dumpLaneStats {
+		if st := s.Eng.ShardStats(); st.Lanes != nil {
+			laneStatsMu.Lock()
+			fmt.Fprintf(os.Stderr, "-- lanes: load %v gap=%v --\n%s", d, dcfg.MeanGap, st)
+			laneStatsMu.Unlock()
+			s.Eng.ResetStats()
+		}
+	}
+	return r
 }
 
 // traceIdentity digests the records' canonical binary encoding.

@@ -2,7 +2,7 @@
 
 // The full determinism audit (`make test-slow`): every simulation-backed
 // harness experiment — fig4, fig6, fig8, fig13a, fig13b, fig14, fig15a,
-// fig15b, fig16, headline, replay — must render byte-identical output
+// fig15b, fig16, headline, replay, loadcurve — must render byte-identical output
 // between a serial sweep (-workers 1) and a parallel one, and across
 // reruns. The fast tier keeps one representative (Fig8, in
 // determinism_test.go); this tag extends the check to the whole suite,

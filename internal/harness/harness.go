@@ -213,6 +213,7 @@ func All() []Experiment {
 		{"area", "implementation overhead (Section VI-C)", Area},
 		{"headline", "headline speedups (abstract numbers)", Headline},
 		{"replay", "trace-driven workload replay (bandwidth/latency)", Replay},
+		{"loadcurve", "open-loop latency vs offered load (SLO knee)", LoadCurve},
 	}
 }
 

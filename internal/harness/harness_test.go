@@ -11,7 +11,7 @@ import (
 
 func TestAllExperimentsListed(t *testing.T) {
 	want := []string{"table1", "fig4", "fig6", "fig8", "fig13a", "fig13b",
-		"fig14", "fig15a", "fig15b", "fig16", "area", "headline", "replay"}
+		"fig14", "fig15a", "fig15b", "fig16", "area", "headline", "replay", "loadcurve"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d experiments, want %d", len(got), len(want))

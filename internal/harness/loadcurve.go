@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/clock"
+	"repro/internal/resultcache"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// loadGaps is the offered-load axis of the loadcurve experiment as mean
+// inter-arrival gaps: one 64 B line per gap, so offered load spans 2 to
+// 64 GB/s. Full mode adds intermediate points to sharpen the knee.
+func loadGaps(sc Scale) []clock.Picos {
+	if sc == Full {
+		return []clock.Picos{
+			32 * clock.Nanosecond, 24 * clock.Nanosecond, 16 * clock.Nanosecond,
+			12 * clock.Nanosecond, 8 * clock.Nanosecond, 6 * clock.Nanosecond,
+			4 * clock.Nanosecond, 3 * clock.Nanosecond, 2 * clock.Nanosecond,
+			1500, 1 * clock.Nanosecond, 750,
+		}
+	}
+	return []clock.Picos{
+		32 * clock.Nanosecond, 16 * clock.Nanosecond, 8 * clock.Nanosecond,
+		4 * clock.Nanosecond, 2 * clock.Nanosecond, 1 * clock.Nanosecond,
+	}
+}
+
+// loadSLO is the latency objective the knee is read against: the
+// highest offered load whose p99 end-to-end (arrival-to-completion)
+// latency stays within the objective.
+const loadSLO = 2 * clock.Microsecond
+
+// loadDriverConfig sizes one load point: Poisson arrivals at the given
+// mean gap, with the duration scaled so every point sees the same
+// arrival count — equal sample sizes keep p99.9 equally resolved across
+// the axis.
+func loadDriverConfig(sc Scale, gap clock.Picos) trace.DriverConfig {
+	cfg := trace.DefaultDriverConfig()
+	cfg.MeanGap = gap
+	arrivals := clock.Picos(8192)
+	if sc == Full {
+		arrivals = 65536
+	}
+	cfg.Duration = gap * arrivals
+	return cfg
+}
+
+// LoadCurve renders the open-loop latency-vs-offered-load curve for
+// Base vs PIM-MMU: a Poisson stream of line requests over the mixed
+// workload is offered at each load level regardless of backpressure, and
+// each point reports the end-to-end tail (p50/p99/p99.9) plus the p99
+// queueing delay — the component a closed-loop replay cannot see. The
+// footer row reads off the SLO knee: the maximum offered load whose p99
+// stays within the objective. Every (gap x design) machine is
+// independent, so the matrix fans out through one sweep.
+func LoadCurve(w io.Writer, sc Scale) {
+	gaps := loadGaps(sc)
+	designs := baseVsMMU
+	type point struct {
+		Thr          float64
+		Total, Queue trace.LatencyHist
+	}
+	g := sweep.NewGrid(len(gaps), len(designs))
+	res := cachedMap(g.Size(), func(i int) string {
+		gcfg := replayGenConfig(sc)
+		dcfg := loadDriverConfig(sc, gaps[g.Coord(i, 0)])
+		// gcfg.Base is assigned inside the job but is a pure function of
+		// the machine (its first allocation), so the generator and driver
+		// configs identify the workload completely.
+		return jobKey(newConfig(designs[g.Coord(i, 1)]),
+			fmt.Sprintf("loadcurve pattern=%s gen=%s dcfg=%s", trace.PatternMixed,
+				resultcache.Canonical(gcfg), resultcache.Canonical(dcfg)))
+	}, func(i int) point {
+		s := newSystem(designs[g.Coord(i, 1)])
+		gcfg := replayGenConfig(sc)
+		gcfg.Base = s.Alloc(gcfg.FootprintBytes(trace.PatternMixed))
+		recs := trace.MustGenerate(trace.PatternMixed, gcfg)
+		lr, err := s.RunLoad(recs, loadDriverConfig(sc, gaps[g.Coord(i, 0)]))
+		if err != nil {
+			panic(err)
+		}
+		reportLaneStats(fmt.Sprintf("loadcurve gap=%v %v", gaps[g.Coord(i, 0)], s.Cfg.Design), s)
+		return point{Thr: lr.Throughput(), Total: lr.Total, Queue: lr.Queue}
+	})
+	t := stats.NewTable("offered (GB/s)", "Base p50/p99/p99.9 (ns)", "PIM-MMU p50/p99/p99.9 (ns)",
+		"Base p99 queue (ns)", "PIM-MMU p99 queue (ns)")
+	knee := make([]clock.Picos, len(designs)) // best (smallest) gap within SLO
+	for gi, gap := range gaps {
+		b := res[g.Index(gi, 0)]
+		m := res[g.Index(gi, 1)]
+		t.Rowf("%s\t%s\t%s\t%.0f\t%.0f",
+			gb(loadDriverConfig(sc, gap).OfferedLoad()),
+			percentiles999(&b.Total), percentiles999(&m.Total),
+			b.Queue.P99().Nanoseconds(), m.Queue.P99().Nanoseconds())
+		for di := range designs {
+			p := res[g.Index(gi, di)]
+			if p.Total.P99() <= loadSLO && (knee[di] == 0 || gap < knee[di]) {
+				knee[di] = gap
+			}
+		}
+	}
+	t.Rowf("max load @ p99 <= %v\t%s\t%s\t\t", loadSLO, kneeCell(sc, knee[0]), kneeCell(sc, knee[1]))
+	fmt.Fprint(w, t)
+	fmt.Fprintln(w, "expected shape: both designs track the service floor at low load; the")
+	fmt.Fprintln(w, "                knee sits where queueing delay takes over the p99")
+}
+
+// kneeCell renders one design's SLO knee as its offered load, or "-"
+// when no point on the axis met the objective.
+func kneeCell(sc Scale, gap clock.Picos) string {
+	if gap == 0 {
+		return "-"
+	}
+	return gb(loadDriverConfig(sc, gap).OfferedLoad()) + " GB/s"
+}
+
+// percentiles999 renders a latency histogram's tail as "p50/p99/p99.9"
+// in whole nanoseconds (bucket upper bounds: each figure is a <= bound).
+func percentiles999(h *trace.LatencyHist) string {
+	return fmt.Sprintf("%.0f/%.0f/%.0f",
+		h.P50().Nanoseconds(), h.P99().Nanoseconds(), h.P999().Nanoseconds())
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/system"
+	"repro/internal/trace"
 )
 
 // benchContenders builds a Table I machine at the given lane topology
@@ -161,6 +162,53 @@ func BenchmarkEngineContendedHits(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(memOps), "memops")
+		})
+	}
+}
+
+// benchOpenLoop runs one open-loop Poisson load point (32 GB/s offered,
+// the mixed pattern over a 1 MiB footprint) at the given lane topology
+// and returns its result for verification.
+func benchOpenLoop(shards, coreLanes int) trace.LoadResult {
+	cfg := system.DefaultConfig(system.PIMMMU)
+	cfg.Shards = shards
+	cfg.CoreLanes = coreLanes
+	s := system.MustNew(cfg)
+	gen := trace.DefaultGenConfig()
+	gen.FootprintLines = 1 << 14
+	gen.Base = s.Alloc(gen.FootprintBytes(trace.PatternMixed))
+	recs := trace.MustGenerate(trace.PatternMixed, gen)
+	dcfg := trace.DefaultDriverConfig()
+	dcfg.MeanGap = 2 * clock.Nanosecond
+	dcfg.Duration = 32 * clock.Microsecond
+	r, err := s.RunLoad(recs, dcfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// BenchmarkEngineOpenLoopLoad measures the engine cost of the open-loop
+// driver path — the loadcurve experiment's inner loop — on the serial
+// engine, the sharded queue executed serially (the determinism
+// reference), and windowed execution at 4 workers. Captured into
+// BENCH_engine.json and gated by bench-compare like the other engine
+// benches.
+func BenchmarkEngineOpenLoopLoad(b *testing.B) {
+	for _, p := range []struct {
+		name              string
+		shards, coreLanes int
+	}{
+		{"serial", 0, 0},
+		{"lanes1", 1, 0},
+		{"lanes4", 4, 0},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			var completed uint64
+			for i := 0; i < b.N; i++ {
+				completed = benchOpenLoop(p.shards, p.coreLanes).Completed
+			}
+			b.ReportMetric(float64(completed), "reqs")
 		})
 	}
 }

@@ -490,6 +490,34 @@ func (s *System) RunReplay(recs []trace.Record, cfg trace.ReplayConfig) (trace.R
 	return out, nil
 }
 
+// StartLoad launches an open-loop arrival-process run through the
+// memory port and calls onDone at completion. It does not run the
+// engine.
+func (s *System) StartLoad(recs []trace.Record, cfg trace.DriverConfig, onDone func(trace.LoadResult)) error {
+	d, err := trace.NewDriver(s.Eng, s.Mem, recs, cfg)
+	if err != nil {
+		return err
+	}
+	d.Start(onDone)
+	return nil
+}
+
+// RunLoad executes an open-loop run to completion and returns its
+// result: arrivals accrue on the simulated clock at the configured rate
+// regardless of memory-system backpressure, so the result's queue/
+// service/total split measures what a latency SLO would see at that
+// offered load.
+func (s *System) RunLoad(recs []trace.Record, cfg trace.DriverConfig) (trace.LoadResult, error) {
+	var out trace.LoadResult
+	done := false
+	if err := s.StartLoad(recs, cfg, func(r trace.LoadResult) { out = r; done = true }); err != nil {
+		return trace.LoadResult{}, err
+	}
+	s.Eng.RunWhile(func() bool { return !done })
+	s.drain()
+	return out, nil
+}
+
 // drain runs remaining completion events (posted writes, refreshes in
 // flight) without advancing past quiescence. With live threads (for
 // example contenders) the memory system never goes idle, so draining is

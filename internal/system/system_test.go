@@ -299,6 +299,50 @@ func TestRunReplay(t *testing.T) {
 	}
 }
 
+// Open-loop runs drive the same port as replays, honor the offered
+// arrival count regardless of backpressure, and reject invalid inputs.
+func TestRunLoad(t *testing.T) {
+	s := MustNew(smallCfg(PIMMMU))
+	gcfg := trace.DefaultGenConfig()
+	gcfg.Records = 1024
+	gcfg.FootprintLines = 4096
+	gcfg.Base = s.Alloc(gcfg.FootprintBytes(trace.PatternMixed))
+	recs := trace.MustGenerate(trace.PatternMixed, gcfg)
+	dcfg := trace.DefaultDriverConfig()
+	dcfg.MeanGap = 4 * clock.Nanosecond
+	dcfg.Duration = 4 * clock.Microsecond
+	sched, err := trace.ArrivalSchedule(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := s.Activity()
+	r, err := s.RunLoad(recs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrivals != uint64(len(sched)) || r.Completed != r.Arrivals {
+		t.Errorf("arrivals/completed = %d/%d, want %d scheduled arrivals",
+			r.Arrivals, r.Completed, len(sched))
+	}
+	if r.QueueSum+r.ServiceSum != r.TotalSum {
+		t.Errorf("queue %v + service %v != total %v", r.QueueSum, r.ServiceSum, r.TotalSum)
+	}
+	if r.Total.P50() < r.Service.P50() {
+		t.Errorf("total p50 %v below service p50 %v", r.Total.P50(), r.Service.P50())
+	}
+	if d := s.Activity().Sub(a0); d.Reads == 0 {
+		t.Error("open-loop run produced no DRAM command activity")
+	}
+
+	if _, err := s.RunLoad(recs, trace.DriverConfig{}); err == nil {
+		t.Error("invalid driver config accepted")
+	}
+	bad := []trace.Record{{TSC: 0, Kind: trace.KindRead, Addr: 7, Bytes: 64}}
+	if _, err := s.RunLoad(bad, dcfg); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
 func TestServerConfigAsymmetricGrades(t *testing.T) {
 	cfg := ServerConfig(PIMMMU)
 	if err := cfg.Validate(); err != nil {

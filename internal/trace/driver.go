@@ -1,0 +1,440 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Process names an open-loop arrival process. Where the Replayer paces
+// issue by recorded inter-arrival times and lets backpressure slip the
+// whole timeline, a Process describes arrivals that accrue on the
+// simulated clock no matter what the memory system does — the open-loop
+// model of user-driven traffic against a latency SLO.
+type Process string
+
+const (
+	// ProcessFixed arrives at exactly one request per MeanGap.
+	ProcessFixed Process = "fixed"
+	// ProcessPoisson draws exponential inter-arrival gaps with mean
+	// MeanGap from the deterministic splitmix64 PRNG.
+	ProcessPoisson Process = "poisson"
+	// ProcessBurst alternates OnTime windows of dense fixed-gap arrivals
+	// with OffTime windows of silence, preserving MeanGap as the
+	// long-run mean inter-arrival time.
+	ProcessBurst Process = "burst"
+)
+
+// Processes lists every arrival process in a stable order.
+func Processes() []Process {
+	return []Process{ProcessFixed, ProcessPoisson, ProcessBurst}
+}
+
+// DriverConfig parameterizes an open-loop load driver.
+type DriverConfig struct {
+	// Process selects the arrival process.
+	Process Process
+	// MeanGap is the mean inter-arrival time; offered load is one line
+	// request (mem.LineBytes) per MeanGap.
+	MeanGap clock.Picos
+	// Duration is the span of the arrival schedule: arrivals land in
+	// [0, Duration) and their count is a pure function of the config,
+	// never of the memory system's behavior.
+	Duration clock.Picos
+	// OnTime and OffTime shape the burst process: arrivals bunch inside
+	// each OnTime window, every OnTime+OffTime period. Ignored by the
+	// other processes.
+	OnTime  clock.Picos
+	OffTime clock.Picos
+	// Seed drives the Poisson process's deterministic PRNG.
+	Seed uint64
+
+	// MaxInFlight caps outstanding requests, exactly as in ReplayConfig;
+	// arrivals beyond the cap queue at the driver and accrue queueing
+	// delay.
+	MaxInFlight int
+	// Cacheable routes DRAM-region requests through the LLC.
+	Cacheable bool
+	// SrcID tags driven requests for per-agent channel statistics.
+	SrcID int
+}
+
+// DefaultDriverConfig models a moderate Poisson stream: one line per
+// 8 ns offered (8 GB/s) over 64 us, with the Replayer's default agent
+// aggressiveness.
+func DefaultDriverConfig() DriverConfig {
+	return DriverConfig{
+		Process:     ProcessPoisson,
+		MeanGap:     8 * clock.Nanosecond,
+		Duration:    64 * clock.Microsecond,
+		OnTime:      4 * clock.Microsecond,
+		OffTime:     4 * clock.Microsecond,
+		Seed:        1,
+		MaxInFlight: 64,
+		Cacheable:   true,
+		SrcID:       9,
+	}
+}
+
+// Validate reports configuration errors.
+func (c DriverConfig) Validate() error {
+	switch c.Process {
+	case ProcessFixed, ProcessPoisson:
+	case ProcessBurst:
+		if c.OnTime <= 0 {
+			return fmt.Errorf("trace: non-positive burst on-time %v", c.OnTime)
+		}
+		if c.OffTime < 0 {
+			return fmt.Errorf("trace: negative burst off-time %v", c.OffTime)
+		}
+	default:
+		return fmt.Errorf("trace: unknown arrival process %q", c.Process)
+	}
+	if c.MeanGap <= 0 {
+		return fmt.Errorf("trace: non-positive mean gap %v", c.MeanGap)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("trace: non-positive duration %v", c.Duration)
+	}
+	if c.MaxInFlight <= 0 {
+		return fmt.Errorf("trace: non-positive MaxInFlight %d", c.MaxInFlight)
+	}
+	return nil
+}
+
+// OfferedLoad is the configured offered load in bytes per second: one
+// line request per MeanGap.
+func (c DriverConfig) OfferedLoad() float64 {
+	return mem.LineBytes / c.MeanGap.Seconds()
+}
+
+// ArrivalSchedule materializes the arrival times of the configured
+// process, relative to the driver's start. The schedule is a pure
+// function of the config — this is the open-loop invariant: the memory
+// system cannot throttle, delay, or drop an arrival, only make it wait.
+func ArrivalSchedule(cfg DriverConfig) ([]clock.Picos, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	arr := make([]clock.Picos, 0, int(cfg.Duration/cfg.MeanGap)+1)
+	switch cfg.Process {
+	case ProcessFixed:
+		for t := clock.Picos(0); t < cfg.Duration; t += cfg.MeanGap {
+			arr = append(arr, t)
+		}
+	case ProcessPoisson:
+		rng := splitmix64(cfg.Seed)
+		for t := clock.Picos(0); t < cfg.Duration; t += expGap(rng, cfg.MeanGap) {
+			arr = append(arr, t)
+		}
+	case ProcessBurst:
+		// Dense fixed-gap arrivals inside each OnTime window, silence
+		// for OffTime, with the on-gap shrunk so the long-run mean
+		// inter-arrival time stays MeanGap. 128-bit intermediate keeps
+		// the product exact for any picosecond operands.
+		period := cfg.OnTime + cfg.OffTime
+		hi, lo := bits.Mul64(uint64(cfg.MeanGap), uint64(cfg.OnTime))
+		q, _ := bits.Div64(hi, lo, uint64(period))
+		onGap := clock.Picos(q)
+		if onGap < 1 {
+			onGap = 1
+		}
+		for start := clock.Picos(0); start < cfg.Duration; start += period {
+			end := start + cfg.OnTime
+			for t := start; t < end && t < cfg.Duration; t += onGap {
+				arr = append(arr, t)
+			}
+		}
+	}
+	return arr, nil
+}
+
+// expGap draws an exponential inter-arrival gap with the given mean,
+// floored at one picosecond so time always advances.
+func expGap(rng *rngState, mean clock.Picos) clock.Picos {
+	g := clock.Picos(math.Round(-math.Log(1-rng.float64()) * float64(mean)))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// LoadResult aggregates one open-loop run. Every counter is a
+// deterministic function of (trace, machine configuration, driver
+// configuration) and the whole struct compares with ==.
+type LoadResult struct {
+	Arrivals  uint64 // scheduled arrivals (fixed by config, never throttled)
+	Issued    uint64 // requests handed to the port
+	Completed uint64 // requests completed
+
+	BytesRead    uint64
+	BytesWritten uint64
+
+	Start clock.Picos // engine time the run began
+	End   clock.Picos // engine time the last completion arrived
+
+	// Per-request latency decomposes exactly: Queue (arrival to issue,
+	// time spent waiting at the driver behind the in-flight cap or a
+	// full controller queue) + Service (issue to completion, time inside
+	// the memory system) = Total (arrival to completion, what the user
+	// sees). Sums report means; histograms report tails.
+	QueueSum   clock.Picos
+	ServiceSum clock.Picos
+	TotalSum   clock.Picos
+	Queue      LatencyHist
+	Service    LatencyHist
+	Total      LatencyHist
+
+	// Retries counts TryEnqueue rejections (backpressure events).
+	Retries uint64
+
+	// MaxQueued is the deepest arrival backlog observed at an issue
+	// opportunity: arrivals due but not yet issued. Under saturation it
+	// grows without bound — the open-loop signature.
+	MaxQueued uint64
+}
+
+// Duration is the wall-clock span of the run.
+func (r LoadResult) Duration() clock.Picos { return r.End - r.Start }
+
+// Bytes is the total traffic moved.
+func (r LoadResult) Bytes() uint64 { return r.BytesRead + r.BytesWritten }
+
+// Throughput is achieved bytes per second over the run duration.
+func (r LoadResult) Throughput() float64 {
+	if r.Duration() <= 0 {
+		return 0
+	}
+	return float64(r.Bytes()) / r.Duration().Seconds()
+}
+
+// AvgQueue is the mean arrival-to-issue delay.
+func (r LoadResult) AvgQueue() clock.Picos {
+	if r.Issued == 0 {
+		return 0
+	}
+	return r.QueueSum / clock.Picos(r.Issued)
+}
+
+// AvgService is the mean issue-to-completion latency.
+func (r LoadResult) AvgService() clock.Picos {
+	if r.Completed == 0 {
+		return 0
+	}
+	return r.ServiceSum / clock.Picos(r.Completed)
+}
+
+// AvgTotal is the mean arrival-to-completion latency.
+func (r LoadResult) AvgTotal() clock.Picos {
+	if r.Completed == 0 {
+		return 0
+	}
+	return r.TotalSum / clock.Picos(r.Completed)
+}
+
+// dslot is one in-flight open-loop request. Like the Replayer's slots,
+// dslots are preallocated and recycled with their completion closures
+// bound once, so steady-state driving performs no per-request
+// allocation.
+type dslot struct {
+	req     mem.Req
+	arrival clock.Picos
+	issued  clock.Picos
+}
+
+// Driver injects an open-loop arrival process through a mem.Port on the
+// simulation engine. It reuses the Replayer's slot-pool and WaitSpace
+// backpressure machinery, but where the Replayer replays a recorded
+// timeline (slipping it under backpressure), the Driver's arrivals are a
+// fixed schedule: backpressure converts directly into per-request
+// queueing delay, never into fewer or later arrivals. Addresses and
+// kinds come from the supplied records, cycled one line per arrival.
+type Driver struct {
+	eng  *sim.Engine
+	port mem.Port
+	cfg  DriverConfig
+	recs []Record
+
+	arrivals []clock.Picos
+
+	issueEv sim.Event
+	spaceFn func()
+	start   clock.Picos
+
+	ai       int // next arrival to issue
+	seen     int // arrivals observed due, for MaxQueued (monotone)
+	inFlight int
+	waiting  bool // a WaitSpace callback is registered
+	started  bool
+	finished bool
+
+	free []*dslot
+
+	res    LoadResult
+	onDone func(LoadResult)
+}
+
+// NewDriver validates the configuration, materializes the arrival
+// schedule, and builds a driver bound to the engine and port. The record
+// slice supplies addresses and kinds (cycled when arrivals outnumber
+// records) and is not copied; the caller must not mutate it during the
+// run.
+func NewDriver(eng *sim.Engine, port mem.Port, recs []Record, cfg DriverConfig) (*Driver, error) {
+	arrivals, err := ArrivalSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(recs); err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty record stream")
+	}
+	d := &Driver{eng: eng, port: port, cfg: cfg, recs: recs, arrivals: arrivals}
+	d.issueEv.Init(sim.HandlerFunc(d.issue))
+	d.spaceFn = d.onSpace
+	d.free = make([]*dslot, cfg.MaxInFlight)
+	for i := range d.free {
+		s := &dslot{}
+		s.req.SrcID = cfg.SrcID
+		s.req.OnDone = func(now clock.Picos) { d.complete(s, now) }
+		d.free[i] = s
+	}
+	return d, nil
+}
+
+// Start begins the run; onDone runs (inside the engine) when every
+// scheduled arrival has issued and completed. Start does not run the
+// engine.
+//
+// Like the Replayer, a Driver runs exactly once — a second Start panics;
+// build a fresh Driver per run.
+func (d *Driver) Start(onDone func(LoadResult)) {
+	if d.started {
+		panic("trace: Driver.Start called twice; a Driver runs once — build a fresh one per run")
+	}
+	d.started = true
+	d.onDone = onDone
+	d.start = d.eng.Now()
+	d.res.Start = d.start
+	d.res.Arrivals = uint64(len(d.arrivals))
+	if len(d.arrivals) == 0 {
+		d.finished = true
+		d.res.End = d.start
+		if onDone != nil {
+			onDone(d.res)
+		}
+		return
+	}
+	d.eng.Schedule(&d.issueEv, d.start+d.arrivals[0])
+}
+
+// Snapshot reports the statistics accumulated so far without waiting for
+// completion — the view of a run whose tail the port never accepts.
+func (d *Driver) Snapshot() LoadResult { return d.res }
+
+// noteQueued samples the arrival backlog: arrivals due at now that have
+// not yet issued. The seen cursor is monotone, so the scan is O(arrivals)
+// over the whole run.
+func (d *Driver) noteQueued(now clock.Picos) {
+	for d.seen < len(d.arrivals) && d.start+d.arrivals[d.seen] <= now {
+		d.seen++
+	}
+	if q := uint64(d.seen - d.ai); q > d.res.MaxQueued {
+		d.res.MaxQueued = q
+	}
+}
+
+// issue drains due arrivals: it fires until it runs ahead of the
+// schedule (reschedule), out of in-flight slots (a completion re-kicks),
+// or into a full controller queue (WaitSpace re-kicks). Arrivals blocked
+// here keep their scheduled arrival times — the wait shows up as
+// queueing delay, not as schedule slip.
+func (d *Driver) issue(now clock.Picos) {
+	d.noteQueued(now)
+	for d.ai < len(d.arrivals) {
+		due := d.start + d.arrivals[d.ai]
+		if now < due {
+			d.eng.Schedule(&d.issueEv, due)
+			return
+		}
+		if len(d.free) == 0 {
+			return
+		}
+		s := d.free[len(d.free)-1]
+		rec := &d.recs[d.ai%len(d.recs)]
+		s.req.Addr = rec.Addr
+		if rec.Kind == KindWrite {
+			s.req.Kind = mem.Write
+		} else {
+			s.req.Kind = mem.Read
+		}
+		s.req.Cacheable = d.cfg.Cacheable && mem.SpaceOf(rec.Addr) == mem.SpaceDRAM
+		s.arrival = due
+		s.issued = now
+		if !d.port.TryEnqueue(&s.req) {
+			d.res.Retries++
+			if !d.waiting {
+				d.waiting = true
+				d.port.WaitSpace(d.spaceFn)
+			}
+			return
+		}
+		d.free = d.free[:len(d.free)-1]
+		d.inFlight++
+		d.res.Issued++
+		if s.req.Kind == mem.Write {
+			d.res.BytesWritten += mem.LineBytes
+		} else {
+			d.res.BytesRead += mem.LineBytes
+		}
+		qd := now - due
+		d.res.QueueSum += qd
+		d.res.Queue.Observe(qd)
+		d.ai++
+	}
+	d.maybeFinish(now)
+}
+
+// onSpace is the WaitSpace callback: queue space freed, resume issue.
+func (d *Driver) onSpace() {
+	d.waiting = false
+	d.issue(d.eng.Now())
+}
+
+// complete retires one request and resumes issue if it was blocked on
+// the in-flight cap.
+func (d *Driver) complete(s *dslot, now clock.Picos) {
+	d.inFlight--
+	d.res.Completed++
+	sv := now - s.issued
+	tt := now - s.arrival
+	d.res.ServiceSum += sv
+	d.res.TotalSum += tt
+	d.res.Service.Observe(sv)
+	d.res.Total.Observe(tt)
+	d.free = append(d.free, s)
+	if d.ai < len(d.arrivals) {
+		if !d.issueEv.Scheduled() && !d.waiting {
+			d.issue(now)
+		}
+		return
+	}
+	d.maybeFinish(now)
+}
+
+// maybeFinish reports the result once every arrival issued and completed.
+func (d *Driver) maybeFinish(now clock.Picos) {
+	if d.finished || d.ai < len(d.arrivals) || d.inFlight > 0 {
+		return
+	}
+	d.finished = true
+	d.res.End = now
+	if d.onDone != nil {
+		d.onDone(d.res)
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/clock"
@@ -38,20 +39,53 @@ func (c ReplayConfig) Validate() error {
 	return nil
 }
 
-// LatencyBuckets is the fixed bucket count of LatencyHist: one bucket
-// per power of two of picoseconds, which spans every latency a simulated
-// memory system can produce (2^63 ps is ~107 days).
-const LatencyBuckets = 64
+// Histogram bucket layout: log-linear sub-buckets. Values below
+// histSubBuckets occupy one exact bucket each; every higher power-of-two
+// octave [2^e, 2^(e+1)) splits into histSubBuckets equal-width
+// sub-buckets, so quantile resolution is 1/histSubBuckets (12.5%) of the
+// value at every scale. The previous layout had one bucket per octave,
+// whose 2x edges cannot resolve the knee of a latency-vs-load curve.
+const (
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits
+)
 
-// LatencyHist is a deterministic fixed-bucket latency histogram: bucket
-// i counts samples whose picosecond value has bit length i, i.e. lies in
-// [2^(i-1), 2^i). Power-of-two buckets keep the array small and the
-// quantiles' resolution proportional (~2x) at every scale, and the whole
-// histogram is a value type — merging into Result needs no allocation
-// and results compare with ==.
+// LatencyBuckets is the fixed bucket count of LatencyHist: histSubBuckets
+// exact low buckets plus histSubBuckets sub-buckets for each octave up to
+// 2^63 ps (~107 days, past every latency a simulated memory system can
+// produce — the top bucket's inclusive edge is the maximum clock.Picos).
+const LatencyBuckets = histSubBuckets + (63-histSubBits)*histSubBuckets
+
+// LatencyHist is a deterministic fixed-bucket latency histogram over the
+// log-linear layout above. The whole histogram is a value type — merging
+// into Result needs no allocation and results compare with ==.
 type LatencyHist struct {
 	Counts [LatencyBuckets]uint64
 	N      uint64
+}
+
+// bucketOf maps a picosecond value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	e := uint(bits.Len64(v)) - 1
+	i := histSubBuckets + (int(e)-histSubBits)*histSubBuckets + int((v-uint64(1)<<e)>>(e-histSubBits))
+	if i >= LatencyBuckets {
+		return LatencyBuckets - 1
+	}
+	return i
+}
+
+// BucketMax reports the largest latency that maps to bucket i — the
+// inclusive upper edge Quantile resolves to.
+func BucketMax(i int) clock.Picos {
+	if i < histSubBuckets {
+		return clock.Picos(i)
+	}
+	e := uint(histSubBits + (i-histSubBuckets)/histSubBuckets)
+	m := uint64((i-histSubBuckets)%histSubBuckets) + 1
+	return clock.Picos(uint64(1)<<e + m<<(e-histSubBits) - 1)
 }
 
 // Observe records one latency sample. Negative samples cannot occur in a
@@ -60,23 +94,38 @@ func (h *LatencyHist) Observe(lat clock.Picos) {
 	if lat < 0 {
 		lat = 0
 	}
-	b := bits.Len64(uint64(lat))
-	if b >= LatencyBuckets {
-		b = LatencyBuckets - 1
-	}
-	h.Counts[b]++
+	h.Counts[bucketOf(uint64(lat))]++
 	h.N++
 }
 
+// quantileDen is the fixed denominator quantiles are parsed against:
+// every quantile used in practice (0.5, 0.95, 0.99, 0.999) is an exact
+// multiple of 1e-6, so the rank computation below is pure integer
+// arithmetic — float rounding can never push ceil(q*N) across a
+// cumulative-count edge, which the previous float-product rank did at
+// exact bucket boundaries (e.g. q=0.55, N=20 ranked 12 instead of 11).
+const quantileDen = 1_000_000
+
 // Quantile reports a deterministic upper bound for the q-quantile
-// (0 < q <= 1): the exclusive upper edge of the bucket holding the
+// (0 < q <= 1): the inclusive upper edge of the bucket holding the
 // ceil(q*N)-th smallest sample. Zero when the histogram is empty.
 func (h *LatencyHist) Quantile(q float64) clock.Picos {
 	if h.N == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(h.N))
-	if float64(rank) < q*float64(h.N) {
+	var num uint64
+	if q > 0 {
+		num = uint64(math.Round(q * quantileDen))
+	}
+	if num > quantileDen {
+		num = quantileDen
+	}
+	// rank = ceil(num*N/quantileDen) in full 128-bit precision; num <=
+	// 1e6 keeps the 128-bit product's high word below the divisor, so
+	// Div64 cannot overflow.
+	hi, lo := bits.Mul64(num, h.N)
+	rank, rem := bits.Div64(hi, lo, quantileDen)
+	if rem > 0 {
 		rank++
 	}
 	if rank == 0 {
@@ -85,16 +134,10 @@ func (h *LatencyHist) Quantile(q float64) clock.Picos {
 	var seen uint64
 	for i, c := range h.Counts {
 		if seen += c; seen >= rank {
-			if i == 0 {
-				return 0
-			}
-			if i == LatencyBuckets-1 {
-				break // top bucket: upper edge saturates below
-			}
-			return clock.Picos(1) << uint(i)
+			return BucketMax(i)
 		}
 	}
-	return clock.Never
+	return BucketMax(LatencyBuckets - 1)
 }
 
 // P50 is the median's bucket upper bound.
@@ -105,6 +148,9 @@ func (h *LatencyHist) P95() clock.Picos { return h.Quantile(0.95) }
 
 // P99 is the 99th percentile's bucket upper bound.
 func (h *LatencyHist) P99() clock.Picos { return h.Quantile(0.99) }
+
+// P999 is the 99.9th percentile's bucket upper bound.
+func (h *LatencyHist) P999() clock.Picos { return h.Quantile(0.999) }
 
 // Result aggregates one replay run. All counters are deterministic
 // functions of (trace, machine configuration, replay configuration).
@@ -184,6 +230,7 @@ type Replayer struct {
 	li       uint32 // next line within the current record
 	inFlight int
 	waiting  bool // a WaitSpace callback is registered
+	started  bool
 	finished bool
 
 	free []*slot
@@ -217,11 +264,47 @@ func NewReplayer(eng *sim.Engine, port mem.Port, recs []Record, cfg ReplayConfig
 
 // Start begins the replay; onDone runs (inside the engine) when every
 // record has issued and completed. Start does not run the engine.
+//
+// A Replayer replays exactly once: a second Start would silently resume
+// from stale cursors with accumulated counters, so it panics instead —
+// build a fresh Replayer per run.
 func (rp *Replayer) Start(onDone func(Result)) {
+	if rp.started {
+		panic("trace: Replayer.Start called twice; a Replayer replays once — build a fresh one per run")
+	}
+	rp.started = true
 	rp.onDone = onDone
 	rp.start = rp.eng.Now()
 	rp.res.Start = rp.start
 	rp.eng.Schedule(&rp.issueEv, rp.start)
+}
+
+// Snapshot reports the statistics accumulated so far without waiting for
+// completion — the only view of a replay whose tail the port never
+// accepts. If issue is still behind the trace timeline (stalled on a
+// full queue or out of slots at the final records), the pending record's
+// lag as of the engine clock is folded into Slip, so a wedged replay
+// does not under-report how far issue fell behind.
+func (rp *Replayer) Snapshot() Result {
+	res := rp.res
+	if rp.started && rp.ri < len(rp.recs) {
+		if slip := rp.eng.Now() - (rp.start + rp.recs[rp.ri].TSC); slip > res.Slip {
+			res.Slip = slip
+		}
+	}
+	return res
+}
+
+// sampleSlip folds the pending record's lag behind the trace timeline
+// into Result.Slip. It runs at every stall (slot exhaustion, enqueue
+// rejection) as well as at successful enqueue, so a replay inspected
+// mid-stall — or one whose tail the port never accepts — reports how far
+// issue actually fell behind, not just the lag of the last accepted
+// record.
+func (rp *Replayer) sampleSlip(now clock.Picos, rec *Record) {
+	if slip := now - (rp.start + rec.TSC); slip > rp.res.Slip {
+		rp.res.Slip = slip
+	}
 }
 
 // issue advances the record cursor: it fires due records until it runs
@@ -236,6 +319,7 @@ func (rp *Replayer) issue(now clock.Picos) {
 			return
 		}
 		if len(rp.free) == 0 {
+			rp.sampleSlip(now, rec)
 			return
 		}
 		s := rp.free[len(rp.free)-1]
@@ -250,6 +334,7 @@ func (rp *Replayer) issue(now clock.Picos) {
 		s.issued = now
 		if !rp.port.TryEnqueue(&s.req) {
 			rp.res.Retries++
+			rp.sampleSlip(now, rec)
 			if !rp.waiting {
 				rp.waiting = true
 				rp.port.WaitSpace(rp.spaceFn)
@@ -264,9 +349,7 @@ func (rp *Replayer) issue(now clock.Picos) {
 		} else {
 			rp.res.BytesRead += mem.LineBytes
 		}
-		if slip := now - (rp.start + rec.TSC); slip > rp.res.Slip {
-			rp.res.Slip = slip
-		}
+		rp.sampleSlip(now, rec)
 		if rp.li++; rp.li >= rec.Lines() {
 			rp.li = 0
 			rp.ri++

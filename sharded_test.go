@@ -15,6 +15,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/clock"
 	"repro/internal/harness"
 	"repro/internal/mem"
 	"repro/internal/system"
@@ -116,6 +117,41 @@ func TestShardedReplayResultIdentical(t *testing.T) {
 	for i, lt := range laneTopos[1:] {
 		if !reflect.DeepEqual(results[i+1], results[0]) {
 			t.Errorf("trace.Result diverged at %v:\nserial: %+v\nsharded: %+v",
+				lt, results[0], results[i+1])
+		}
+	}
+}
+
+// TestShardedLoadResultIdentical drives one open-loop Poisson point on
+// machines at every lane topology and requires the full trace.LoadResult
+// — arrival/issue/completion counts, the queue/service/total latency
+// split with all three histograms, and the backpressure metrics — to
+// match field for field.
+func TestShardedLoadResultIdentical(t *testing.T) {
+	gen := trace.DefaultGenConfig()
+	gen.Records = 1 << 11
+	gen.FootprintLines = 1 << 14
+	dcfg := trace.DefaultDriverConfig()
+	dcfg.MeanGap = 4 * clock.Nanosecond
+	dcfg.Duration = 8 * clock.Microsecond
+	results := make([]trace.LoadResult, len(laneTopos))
+	for i, lt := range laneTopos {
+		cfg := system.DefaultConfig(system.PIMMMU)
+		cfg.Shards = lt.shards
+		cfg.CoreLanes = lt.coreLanes
+		s := system.MustNew(cfg)
+		g := gen
+		g.Base = s.Alloc(g.FootprintBytes(trace.PatternMixed))
+		recs := trace.MustGenerate(trace.PatternMixed, g)
+		r, err := s.RunLoad(recs, dcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = r
+	}
+	for i, lt := range laneTopos[1:] {
+		if !reflect.DeepEqual(results[i+1], results[0]) {
+			t.Errorf("trace.LoadResult diverged at %v:\nserial: %+v\nsharded: %+v",
 				lt, results[0], results[i+1])
 		}
 	}
