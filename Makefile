@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-slow bench bench-compare
+.PHONY: check fmt vet lint build test test-slow bench bench-compare
 
 # The tier-1 gate: formatting, static checks, build, tests.
-check: fmt vet build test
+check: fmt lint build test
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -12,6 +12,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static checks: go vet plus the harness layering rule (only the
+# compute phase may import internal/system; see cmd/pimmu-lint).
+lint: vet
+	$(GO) run ./cmd/pimmu-lint
 
 build:
 	$(GO) build ./...

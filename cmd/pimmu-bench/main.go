@@ -41,35 +41,33 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/resultcache"
-	"repro/internal/sweep"
-	"repro/internal/system"
 )
+
+// benchFlags is the parsed pimmu-bench flag set: the shared Runner flags
+// plus the bench-only -full.
+type benchFlags struct {
+	full   *bool
+	runner *harness.RunnerFlags
+}
+
+// registerFlags registers every pimmu-bench flag on fs; the shared
+// Runner flags come from the harness helper so all three CLIs stay in
+// sync.
+func registerFlags(fs *flag.FlagSet) *benchFlags {
+	return &benchFlags{
+		full:   fs.Bool("full", false, "use the paper's full experiment sizes"),
+		runner: harness.RegisterRunnerFlags(fs),
+	}
+}
 
 // cacheStore is the -cache-dir result cache (nil = off).
 var cacheStore *resultcache.Store
 
 func main() {
-	full := flag.Bool("full", false, "use the paper's full experiment sizes")
-	workers := flag.Int("workers", 0, "parallel simulations per sweep (0 = all cores, 1 = serial)")
-	shards := flag.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
-	coreLanes := flag.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
-	laneStats := flag.Bool("lane-stats", false, "print per-lane engine counters to stderr after each machine's run")
-	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = caching off)")
-	cacheMode := flag.String("cache", "rw", "result-cache mode: off, rw, or ro")
+	f := registerFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
-	sweep.SetWorkers(*workers)
-	shardsN, err := system.ParseLaneFlag(*shards)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-bench: -shards: %v\n", err)
-		os.Exit(2)
-	}
-	coreLanesN, err := system.ParseLaneFlag(*coreLanes)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-bench: -core-lanes: %v\n", err)
-		os.Exit(2)
-	}
-	sh, cl, warns, err := system.NormalizeLaneFlags(shardsN, coreLanesN)
+	runner, store, warns, err := f.runner.Runner(os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
 		os.Exit(2)
@@ -77,25 +75,13 @@ func main() {
 	for _, w := range warns {
 		fmt.Fprintf(os.Stderr, "pimmu-bench: warning: %s\n", w)
 	}
-	harness.SetShards(sh)
-	harness.SetCoreLanes(cl)
-	if *laneStats {
-		harness.SetLaneStats(os.Stderr)
-	}
-	cacheStore, err = resultcache.OpenFlags(*cacheDir, *cacheMode)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
-		os.Exit(2)
-	}
-	if cacheStore != nil {
-		harness.SetCache(cacheStore)
-	}
+	cacheStore = store
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
 	sc := harness.Quick
-	if *full {
+	if *f.full {
 		sc = harness.Full
 	}
 	name := flag.Arg(0)
@@ -107,23 +93,23 @@ func main() {
 		return
 	case "all":
 		for _, e := range harness.All() {
-			runOne(e, sc)
+			runOne(runner, e, sc)
 		}
 		return
 	}
-	e, ok := harness.ByName(name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "pimmu-bench: unknown experiment %q (try 'list')\n", name)
+	e, err := harness.Lookup(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
 		os.Exit(2)
 	}
-	runOne(e, sc)
+	runOne(runner, e, sc)
 }
 
-func runOne(e harness.Experiment, sc harness.Scale) {
+func runOne(r *harness.Runner, e harness.Experiment, sc harness.Scale) {
 	fmt.Printf("==== %s — %s (%s mode) ====\n", e.Name, e.Brief, sc)
 	start := time.Now()
 	before := cacheStore.Stats()
-	e.Run(os.Stdout, sc)
+	r.Run(e, os.Stdout, sc)
 	// The footer is timing/diagnostic output, outside the deterministic
 	// experiment artifact — the tables above are byte-identical whether
 	// the numbers below say "all hits" or "all misses".

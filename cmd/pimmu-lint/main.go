@@ -1,0 +1,91 @@
+// Command pimmu-lint enforces the harness layering rule behind the
+// plan/compute/render split: inside internal/harness, only the compute
+// phase (runner.go and compute*.go) may import repro/internal/system.
+// Plans are pure enumeration and renders are pure text — a renderer
+// that can reach a live machine could silently re-simulate, breaking
+// the warm-cache-equals-cold-compute contract the tier-1 suite checks
+// byte for byte.
+//
+// Usage:
+//
+//	pimmu-lint [DIR]
+//
+// DIR defaults to internal/harness. Violations print one per line and
+// exit non-zero; `make lint` runs this after go vet.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// systemImport is the package the rule guards.
+const systemImport = "repro/internal/system"
+
+func main() {
+	dir := "internal/harness"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	bad, err := violations(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, v := range bad {
+		fmt.Fprintln(os.Stderr, v)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "pimmu-lint: %d violation(s): only runner.go and compute*.go may import %s\n",
+			len(bad), systemImport)
+		os.Exit(1)
+	}
+}
+
+// computeAllowed reports whether a harness file may import the system
+// package: the Runner machinery and the compute phase, nothing else.
+// Test files are exempt — they exercise all three phases.
+func computeAllowed(name string) bool {
+	if strings.HasSuffix(name, "_test.go") {
+		return true
+	}
+	return name == "runner.go" || strings.HasPrefix(name, "compute")
+}
+
+// violations scans dir's Go files (imports only, no type checking) and
+// reports every file outside the compute phase that imports the system
+// package.
+func violations(dir string) ([]string, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var bad []string
+	fset := token.NewFileSet()
+	for _, f := range files {
+		name := f.Name()
+		if f.IsDir() || !strings.HasSuffix(name, ".go") || computeAllowed(name) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		parsed, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range parsed.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == systemImport {
+				bad = append(bad, fmt.Sprintf("%s: imports %s outside the compute phase", path, systemImport))
+			}
+		}
+	}
+	return bad, nil
+}

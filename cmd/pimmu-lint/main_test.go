@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestComputeAllowed(t *testing.T) {
+	for name, want := range map[string]bool{
+		"runner.go":       true,
+		"compute.go":      true,
+		"compute_figs.go": true,
+		"harness_test.go": true,
+		"render.go":       false,
+		"harness.go":      false,
+		"axes.go":         false,
+		"results.go":      false,
+	} {
+		if got := computeAllowed(name); got != want {
+			t.Errorf("computeAllowed(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// The real harness must satisfy its own layering rule.
+func TestHarnessIsClean(t *testing.T) {
+	bad, err := violations(filepath.Join("..", "..", "internal", "harness"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bad {
+		t.Error(v)
+	}
+}
+
+func TestViolationDetected(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("render.go", "package harness\n\nimport _ \"repro/internal/system\"\n")
+	write("compute.go", "package harness\n\nimport _ \"repro/internal/system\"\n")
+	write("axes.go", "package harness\n\nimport _ \"fmt\"\n")
+	bad, err := violations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("violations = %v, want exactly the render.go one", bad)
+	}
+}

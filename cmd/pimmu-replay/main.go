@@ -51,13 +51,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/mem"
 	"repro/internal/resultcache"
-	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/trace"
 )
@@ -101,6 +100,39 @@ func usage() {
   pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
   pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,NS,...] [-n N] [-slo-ns N] [-seed S] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro]
 `)
+}
+
+// replayFlags is the shared flag block of the replay and load
+// subcommands: the Runner flags every CLI registers, plus the memory
+// port knobs.
+type replayFlags struct {
+	inflight *int
+	noncache *bool
+	runner   *harness.RunnerFlags
+}
+
+// registerFlags registers the replay/load shared flags on fs; the
+// Runner flags come from the harness helper so all three CLIs stay in
+// sync.
+func registerFlags(fs *flag.FlagSet) *replayFlags {
+	return &replayFlags{
+		inflight: fs.Int("inflight", 64, "max outstanding line requests"),
+		noncache: fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region requests"),
+		runner:   harness.RegisterRunnerFlags(fs),
+	}
+}
+
+// runner resolves the shared flags, printing warnings under the CLI
+// prefix.
+func (f *replayFlags) newRunner() (*harness.Runner, *resultcache.Store, error) {
+	runner, store, warns, err := f.runner.Runner(os.Stderr)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "pimmu-replay: warning: %s\n", w)
+	}
+	return runner, store, nil
 }
 
 // cmdRecord runs one transfer with a recorder tapped onto the memory
@@ -218,46 +250,22 @@ func cmdInspect(args []string) error {
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	designFlag := fs.String("design", "pim-mmu", "design point, or all")
-	workers := fs.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
-	shards := fs.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
-	coreLanes := fs.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
-	laneStats := fs.Bool("lane-stats", false, "dump per-lane event counters to stderr after each replay")
-	inflight := fs.Int("inflight", 64, "max outstanding line requests")
-	noncache := fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region records")
-	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = caching off)")
-	cacheMode := fs.String("cache", "rw", "result-cache mode: off, rw, or ro")
+	f := registerFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay: want exactly one trace file")
 	}
-	dumpLaneStats = *laneStats
-	shardsN, err := system.ParseLaneFlag(*shards)
+	runner, store, err := f.newRunner()
 	if err != nil {
-		return fmt.Errorf("replay: -shards: %w", err)
+		return fmt.Errorf("replay: %w", err)
 	}
-	coreLanesN, err := system.ParseLaneFlag(*coreLanes)
-	if err != nil {
-		return fmt.Errorf("replay: -core-lanes: %w", err)
-	}
-	sh, cl, warns, err := system.NormalizeLaneFlags(shardsN, coreLanesN)
+	recs, err := trace.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
-	}
-	for _, w := range warns {
-		fmt.Fprintf(os.Stderr, "pimmu-replay: warning: %s\n", w)
-	}
-	store, err := resultcache.OpenFlags(*cacheDir, *cacheMode)
-	if err != nil {
-		return err
-	}
-	recs, rerr := trace.ReadFile(fs.Arg(0))
-	if rerr != nil {
-		return rerr
 	}
 	cfg := trace.DefaultReplayConfig()
-	cfg.MaxInFlight = *inflight
-	cfg.Cacheable = !*noncache
-	sweep.SetWorkers(*workers)
+	cfg.MaxInFlight = *f.inflight
+	cfg.Cacheable = !*f.noncache
 	defer func() {
 		if store != nil {
 			fmt.Fprintf(os.Stderr, "pimmu-replay: cache: %v\n", store.Stats())
@@ -266,32 +274,25 @@ func cmdReplay(args []string) error {
 	// The trace identity digests the records' canonical binary encoding,
 	// so a key is independent of the on-disk trace form but tied to every
 	// record.
-	traceID := ""
-	if store != nil {
-		traceID, err = traceIdentity(recs)
-		if err != nil {
-			return err
+	traceID, err := traceIdentity(recs)
+	if err != nil {
+		return err
+	}
+	op := fmt.Sprintf("trace=%s rcfg=%s", traceID, resultcache.Canonical(cfg))
+	plan := func(designs []system.Design) harness.Plan {
+		jobs := make([]harness.Job, len(designs))
+		for i, d := range designs {
+			jobs[i] = runner.NewJob("pimmu-replay/v1", runner.Config(d), op)
 		}
+		return harness.Plan{Experiment: "pimmu-replay", Jobs: jobs}
 	}
-	key := func(d system.Design) string {
-		scfg := system.DefaultConfig(d)
-		scfg.Shards = sh
-		scfg.CoreLanes = cl
-		return resultcache.KeyOf("pimmu-replay/v1", resultcache.CodeVersion(),
-			scfg.Fingerprint(), traceID, string(resultcache.Canonical(cfg)))
-	}
-	var cache sweep.Cache
-	if store != nil {
-		cache = store
+	run := func(i int, j harness.Job) trace.Result {
+		return replayOn(runner, j, recs, cfg)
 	}
 
 	if *designFlag == "all" {
 		designs := system.Designs()
-		results := sweep.MapCached(cache, len(designs), func(i int) string {
-			return key(designs[i])
-		}, func(i int) trace.Result {
-			return replayOn(designs[i], sh, cl, recs, cfg)
-		})
+		results := harness.ComputePlan(runner, plan(designs), run)
 		fmt.Printf("%d records, max %d in flight\n\n", len(recs), cfg.MaxInFlight)
 		fmt.Printf("%-12s %12s %12s %18s %12s %12s\n",
 			"design", "GB/s", "avg (ns)", "p50/p95/p99 (ns)", "retries", "slip")
@@ -310,9 +311,7 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := sweep.MapCached(cache, 1, func(int) string { return key(design) }, func(int) trace.Result {
-		return replayOn(design, sh, cl, recs, cfg)
-	})[0]
+	r := harness.ComputePlan(runner, plan([]system.Design{design}), run)[0]
 	fmt.Printf("design     %v\n", design)
 	fmt.Printf("records    %d (%d line requests)\n", len(recs), r.Issued)
 	fmt.Printf("bytes      %d read, %d written\n", r.BytesRead, r.BytesWritten)
@@ -336,33 +335,14 @@ func cmdLoad(args []string) error {
 	n := fs.Int("n", 1<<13, "arrivals per load point")
 	sloNS := fs.Int64("slo-ns", 2000, "latency SLO on the p99 end-to-end latency, in ns")
 	seed := fs.Uint64("seed", 1, "PRNG seed for the pattern and the poisson process")
-	workers := fs.Int("workers", 0, "parallel simulations (0 = all cores, 1 = serial)")
-	shards := fs.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
-	coreLanes := fs.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
-	laneStats := fs.Bool("lane-stats", false, "dump per-lane event counters to stderr after each run")
-	inflight := fs.Int("inflight", 64, "max outstanding line requests")
-	noncache := fs.Bool("noncacheable", false, "bypass the LLC for DRAM-region requests")
-	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = caching off)")
-	cacheMode := fs.String("cache", "rw", "result-cache mode: off, rw, or ro")
+	f := registerFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("load: unexpected arguments %v", fs.Args())
 	}
-	dumpLaneStats = *laneStats
-	shardsN, err := system.ParseLaneFlag(*shards)
+	runner, store, err := f.newRunner()
 	if err != nil {
-		return fmt.Errorf("load: -shards: %w", err)
-	}
-	coreLanesN, err := system.ParseLaneFlag(*coreLanes)
-	if err != nil {
-		return fmt.Errorf("load: -core-lanes: %w", err)
-	}
-	sh, cl, warns, err := system.NormalizeLaneFlags(shardsN, coreLanesN)
-	if err != nil {
-		return err
-	}
-	for _, w := range warns {
-		fmt.Fprintf(os.Stderr, "pimmu-replay: warning: %s\n", w)
+		return fmt.Errorf("load: %w", err)
 	}
 	gaps, err := parseGaps(*gapsFlag)
 	if err != nil {
@@ -382,24 +362,16 @@ func cmdLoad(args []string) error {
 		dcfg.MeanGap = gap
 		dcfg.Duration = gap * clock.Picos(*n)
 		dcfg.Seed = *seed
-		dcfg.MaxInFlight = *inflight
-		dcfg.Cacheable = !*noncache
+		dcfg.MaxInFlight = *f.inflight
+		dcfg.Cacheable = !*f.noncache
 		return dcfg
 	}
 	if err := dcfgAt(gaps[0]).Validate(); err != nil {
 		return fmt.Errorf("load: %w", err)
 	}
-
-	store, err := resultcache.OpenFlags(*cacheDir, *cacheMode)
-	if err != nil {
-		return err
-	}
-	var cache sweep.Cache
 	if store != nil {
-		cache = store
 		defer func() { fmt.Fprintf(os.Stderr, "pimmu-replay: cache: %v\n", store.Stats()) }()
 	}
-	sweep.SetWorkers(*workers)
 
 	designs := []system.Design{system.Base, system.PIMMMU}
 	type gridPoint struct{ gi, di int }
@@ -409,21 +381,20 @@ func cmdLoad(args []string) error {
 			pts = append(pts, gridPoint{gi, di})
 		}
 	}
-	results := sweep.MapCached(cache, len(pts), func(i int) string {
-		p := pts[i]
-		scfg := system.DefaultConfig(designs[p.di])
-		scfg.Shards = sh
-		scfg.CoreLanes = cl
-		return resultcache.KeyOf("pimmu-load/v1", resultcache.CodeVersion(), scfg.Fingerprint(),
+	jobs := make([]harness.Job, len(pts))
+	for i, p := range pts {
+		jobs[i] = runner.NewJob("pimmu-load/v1", runner.Config(designs[p.di]),
 			fmt.Sprintf("pattern=%s gen=%s dcfg=%s", *pattern,
 				resultcache.Canonical(gcfg), resultcache.Canonical(dcfgAt(gaps[p.gi]))))
-	}, func(i int) trace.LoadResult {
-		p := pts[i]
-		return loadOn(designs[p.di], sh, cl, trace.Pattern(*pattern), gcfg, dcfgAt(gaps[p.gi]))
-	})
+	}
+	results := harness.ComputePlan(runner,
+		harness.Plan{Experiment: "pimmu-load", Jobs: jobs},
+		func(i int, j harness.Job) trace.LoadResult {
+			return loadOn(runner, j, trace.Pattern(*pattern), gcfg, dcfgAt(gaps[pts[i].gi]))
+		})
 
 	fmt.Printf("%s arrivals, %s pattern, %d arrivals/point, max %d in flight\n\n",
-		*process, *pattern, *n, *inflight)
+		*process, *pattern, *n, *f.inflight)
 	fmt.Printf("%-16s %24s %24s %16s %16s\n", "offered (GB/s)",
 		"Base p50/p99/p99.9 (ns)", "PIM-MMU p50/p99/p99.9 (ns)",
 		"Base q99 (ns)", "PIM-MMU q99 (ns)")
@@ -478,14 +449,11 @@ func kneeGBs(gap clock.Picos) string {
 	return fmt.Sprintf("%.2f GB/s", float64(mem.LineBytes)/gap.Seconds()/1e9)
 }
 
-// loadOn runs one open-loop point on a fresh machine of the given
-// design: the pattern supplies addresses (its footprint allocated on the
+// loadOn runs one open-loop point on a fresh machine of the job's
+// config: the pattern supplies addresses (its footprint allocated on the
 // machine), the driver config supplies arrivals.
-func loadOn(d system.Design, shards, coreLanes int, p trace.Pattern, gcfg trace.GenConfig, dcfg trace.DriverConfig) trace.LoadResult {
-	scfg := system.DefaultConfig(d)
-	scfg.Shards = shards
-	scfg.CoreLanes = coreLanes
-	s := system.MustNew(scfg)
+func loadOn(runner *harness.Runner, j harness.Job, p trace.Pattern, gcfg trace.GenConfig, dcfg trace.DriverConfig) trace.LoadResult {
+	s := system.MustNew(j.Config)
 	gcfg.Base = s.Alloc(gcfg.FootprintBytes(p))
 	recs, err := trace.Generate(p, gcfg)
 	if err != nil {
@@ -495,14 +463,7 @@ func loadOn(d system.Design, shards, coreLanes int, p trace.Pattern, gcfg trace.
 	if err != nil {
 		panic(err)
 	}
-	if dumpLaneStats {
-		if st := s.Eng.ShardStats(); st.Lanes != nil {
-			laneStatsMu.Lock()
-			fmt.Fprintf(os.Stderr, "-- lanes: load %v gap=%v --\n%s", d, dcfg.MeanGap, st)
-			laneStatsMu.Unlock()
-			s.Eng.ResetStats()
-		}
-	}
+	runner.ReportLaneStats(fmt.Sprintf("load %v gap=%v", s.Cfg.Design, dcfg.MeanGap), s)
 	return r
 }
 
@@ -515,32 +476,14 @@ func traceIdentity(recs []trace.Record) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// dumpLaneStats mirrors replay's -lane-stats flag; blocks print whole
-// under the mutex (design points replayed in parallel interleave in
-// completion order — the dump is a diagnostic, not part of the report).
-var (
-	dumpLaneStats bool
-	laneStatsMu   sync.Mutex
-)
-
-// replayOn replays recs on a fresh machine of the given design, with the
-// event queue sharded over the lane topology when shards >= 1.
-func replayOn(d system.Design, shards, coreLanes int, recs []trace.Record, cfg trace.ReplayConfig) trace.Result {
-	scfg := system.DefaultConfig(d)
-	scfg.Shards = shards
-	scfg.CoreLanes = coreLanes
-	s := system.MustNew(scfg)
+// replayOn replays recs on a fresh machine of the job's config, with
+// the event queue sharded over the runner's lane topology.
+func replayOn(runner *harness.Runner, j harness.Job, recs []trace.Record, cfg trace.ReplayConfig) trace.Result {
+	s := system.MustNew(j.Config)
 	r, err := s.RunReplay(recs, cfg)
 	if err != nil {
 		panic(err)
 	}
-	if dumpLaneStats {
-		if st := s.Eng.ShardStats(); st.Lanes != nil {
-			laneStatsMu.Lock()
-			fmt.Fprintf(os.Stderr, "-- lanes: replay %v --\n%s", d, st)
-			laneStatsMu.Unlock()
-			s.Eng.ResetStats()
-		}
-	}
+	runner.ReportLaneStats(fmt.Sprintf("replay %v", s.Cfg.Design), s)
 	return r
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro]
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-list] [-cache-gc]
 //
 // -workers parallelizes across independent design-point machines;
 // -shards parallelizes inside each machine, running its lane topology —
@@ -28,46 +28,76 @@
 // code version) and served from disk when already computed, so warm
 // reruns print byte-identical reports without simulating. A hit/miss
 // summary goes to stderr; stdout stays identical warm or cold.
+//
+// -cache-gc garbage-collects the -cache-dir directory instead of
+// simulating: entries written under a different code version — which
+// can never hit again under this build — are deleted; valid entries and
+// foreign files are left alone.
+//
+// -list prints every harness experiment name with its one-line
+// description (the registry pimmu-bench serves).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/harness"
 	"repro/internal/resultcache"
-	"repro/internal/sweep"
 	"repro/internal/system"
 )
 
+// simFlags is the parsed pimmu-sim flag set: the shared Runner flags
+// plus the transfer parameters and maintenance verbs.
+type simFlags struct {
+	design  *string
+	mb      *uint64
+	dir     *string
+	list    *bool
+	cacheGC *bool
+	runner  *harness.RunnerFlags
+}
+
+// registerFlags registers every pimmu-sim flag on fs; the shared Runner
+// flags come from the harness helper so all three CLIs stay in sync.
+func registerFlags(fs *flag.FlagSet) *simFlags {
+	return &simFlags{
+		design:  fs.String("design", "pim-mmu", "design point: base, base+d, base+d+h, pim-mmu, or all"),
+		mb:      fs.Uint64("mb", 16, "total transfer size in MiB"),
+		dir:     fs.String("dir", "to", "direction: to (DRAM->PIM) or from (PIM->DRAM)"),
+		list:    fs.Bool("list", false, "list every harness experiment and exit"),
+		cacheGC: fs.Bool("cache-gc", false, "delete stale-code-version entries from -cache-dir and exit"),
+		runner:  harness.RegisterRunnerFlags(fs),
+	}
+}
+
 func main() {
-	designFlag := flag.String("design", "pim-mmu", "design point: base, base+d, base+d+h, pim-mmu, or all")
-	mb := flag.Uint64("mb", 16, "total transfer size in MiB")
-	dirFlag := flag.String("dir", "to", "direction: to (DRAM->PIM) or from (PIM->DRAM)")
-	workers := flag.Int("workers", 0, "parallel simulations for -design all (0 = all cores, 1 = serial)")
-	shards := flag.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
-	coreLanes := flag.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
-	laneStats := flag.Bool("lane-stats", false, "dump per-lane event counters to stderr after each simulated transfer")
-	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = caching off)")
-	cacheMode := flag.String("cache", "rw", "result-cache mode: off, rw, or ro")
+	f := registerFlags(flag.CommandLine)
 	flag.Parse()
-	sweep.SetWorkers(*workers)
-	dumpLaneStats = *laneStats
-	shardsN, err := system.ParseLaneFlag(*shards)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-sim: -shards: %v\n", err)
-		os.Exit(2)
+	if *f.list {
+		for _, e := range harness.All() {
+			fmt.Printf("  %-9s %s\n", e.Name, e.Brief)
+		}
+		return
 	}
-	coreLanesN, err := system.ParseLaneFlag(*coreLanes)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-sim: -core-lanes: %v\n", err)
-		os.Exit(2)
+	if *f.cacheGC {
+		dir := f.runner.CacheDir()
+		if dir == "" {
+			fmt.Fprintln(os.Stderr, "pimmu-sim: -cache-gc requires -cache-dir")
+			os.Exit(2)
+		}
+		st, err := resultcache.Prune(dir, resultcache.CodeVersion())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimmu-sim: cache-gc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pimmu-sim: cache-gc: %v\n", st)
+		return
 	}
-	var warns []string
-	engineShards, engineCoreLanes, warns, err = system.NormalizeLaneFlags(shardsN, coreLanesN)
+	runner, store, warns, err := f.runner.Runner(os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
 		os.Exit(2)
@@ -75,146 +105,59 @@ func main() {
 	for _, w := range warns {
 		fmt.Fprintf(os.Stderr, "pimmu-sim: warning: %s\n", w)
 	}
-	cacheStore, err = resultcache.OpenFlags(*cacheDir, *cacheMode)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
-		os.Exit(2)
-	}
 
 	dir := core.DRAMToPIM
-	if *dirFlag == "from" {
+	if *f.dir == "from" {
 		dir = core.PIMToDRAM
-	} else if *dirFlag != "to" {
-		fmt.Fprintf(os.Stderr, "pimmu-sim: unknown direction %q\n", *dirFlag)
+	} else if *f.dir != "to" {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: unknown direction %q\n", *f.dir)
 		os.Exit(2)
 	}
 
-	if *designFlag == "all" {
-		runAll(dir, *mb)
+	if *f.design == "all" {
+		runAll(runner, dir, *f.mb)
 	} else {
-		design, err := system.ParseDesign(*designFlag)
+		design, err := system.ParseDesign(*f.design)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
 			os.Exit(2)
 		}
-		runOne(design, dir, *mb)
+		runOne(runner, design, dir, *f.mb)
 	}
-	if cacheStore != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-sim: cache: %v\n", cacheStore.Stats())
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: cache: %v\n", store.Stats())
 	}
 }
 
-// engineShards/engineCoreLanes are the -shards/-core-lanes selections
-// applied to every machine built (system.Auto passes through to each
-// machine's Normalize — and into the cache key as the sentinel, keeping
-// keys machine-independent).
-var engineShards, engineCoreLanes int
-
-// dumpLaneStats mirrors -lane-stats. Blocks print whole under the
-// mutex; design points measured in parallel interleave in completion
-// order — the dump is a diagnostic, deliberately not part of the
-// deterministic report.
-var (
-	dumpLaneStats bool
-	laneStatsMu   sync.Mutex
-)
-
-// reportLaneStats prints one machine's per-lane counters to stderr and
-// resets them, so a later dump on the same engine would attribute only
-// its own run.
-func reportLaneStats(tag string, s *system.System) {
-	if !dumpLaneStats {
-		return
+// measurePlan enumerates one measurement job per design — pure planning,
+// no simulation. Keys live under the pimmu-sim namespace, so the CLI's
+// entries coexist with the harness experiments' in one cache directory.
+func measurePlan(r *harness.Runner, designs []system.Design, dir core.Direction, mb uint64) harness.Plan {
+	op := fmt.Sprintf("xfer dir=%v mb=%d", dir, mb)
+	jobs := make([]harness.Job, len(designs))
+	for i, d := range designs {
+		jobs[i] = r.NewJob("pimmu-sim/v1", r.Config(d), op)
 	}
-	st := s.Eng.ShardStats()
-	if st.Lanes == nil {
-		return // plain engine: nothing to attribute
-	}
-	laneStatsMu.Lock()
-	fmt.Fprintf(os.Stderr, "-- lanes: %s --\n%s", tag, st)
-	laneStatsMu.Unlock()
-	s.Eng.ResetStats()
+	return harness.Plan{Experiment: "pimmu-sim", Jobs: jobs}
 }
 
-// cacheStore is the -cache-dir result cache (nil = off).
-var cacheStore *resultcache.Store
-
-// sweepCache adapts the store to sweep.Cache; a nil store must become a
-// nil interface, not an interface wrapping nil.
-func sweepCache() sweep.Cache {
-	if cacheStore == nil {
-		return nil
-	}
-	return cacheStore
-}
-
-// channelStat is the per-PIM-channel slice of a measurement that the
-// single-design report prints.
-type channelStat struct {
-	BytesWritten uint64
-	RowHitRate   float64
-}
-
-// measurement is one design point's transfer outcome — pure data, so it
-// round-trips through the result cache; everything the reports print is
-// captured here, not held in a live *system.System.
-type measurement struct {
-	Res    system.XferResult
-	Energy energy.Breakdown
-
-	DRAMRead, DRAMWritten uint64
-	PIMRead, PIMWritten   uint64
-	PIMCh                 []channelStat
-}
-
-// measureConfig is the machine configuration of one measurement.
-func measureConfig(design system.Design) system.Config {
-	cfg := system.DefaultConfig(design)
-	cfg.Shards = engineShards
-	cfg.CoreLanes = engineCoreLanes
-	return cfg
-}
-
-// measureKey is the content-addressed cache key of one measurement.
-func measureKey(design system.Design, dir core.Direction, mb uint64) string {
-	return resultcache.KeyOf("pimmu-sim/v1", resultcache.CodeVersion(),
-		measureConfig(design).Fingerprint(), fmt.Sprintf("xfer dir=%v mb=%d", dir, mb))
-}
-
-// measure runs one transfer on a fresh machine.
-func measure(design system.Design, dir core.Direction, mb uint64) measurement {
-	s := system.MustNew(measureConfig(design))
-	per := (mb << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
-	if per < 64 {
-		per = 64
-	}
-	before := s.Activity()
-	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
-	m := measurement{Res: res, Energy: s.EnergyOver(before, s.Activity())}
-	reportLaneStats(fmt.Sprintf("%v %v %d MiB", design, dir, mb), s)
-	ds, ps := s.Mem.DRAM.Stats(), s.Mem.PIM.Stats()
-	m.DRAMRead, m.DRAMWritten = ds.BytesRead(), ds.BytesWritten()
-	m.PIMRead, m.PIMWritten = ps.BytesRead(), ps.BytesWritten()
-	for _, c := range ps.Channels {
-		m.PIMCh = append(m.PIMCh, channelStat{BytesWritten: c.BytesWritten, RowHitRate: c.RowHitRate()})
-	}
-	return m
-}
-
-// measureCached is measure behind the result cache.
-func measureCached(designs []system.Design, dir core.Direction, mb uint64) []measurement {
-	return sweep.MapCached(sweepCache(), len(designs), func(i int) string {
-		return measureKey(designs[i], dir, mb)
-	}, func(i int) measurement {
-		return measure(designs[i], dir, mb)
+// measureCached computes the plan's measurements behind the runner's
+// cache.
+func measureCached(r *harness.Runner, designs []system.Design, dir core.Direction, mb uint64) []system.TransferMeasurement {
+	p := measurePlan(r, designs, dir, mb)
+	return harness.ComputePlan(r, p, func(i int, j harness.Job) system.TransferMeasurement {
+		s := system.MustNew(j.Config)
+		m := s.MeasureTransfer(dir, mb)
+		r.ReportLaneStats(fmt.Sprintf("%v %v %d MiB", designs[i], dir, mb), s)
+		return m
 	})
 }
 
 // runAll sweeps the four design points in parallel and prints the
 // Fig. 15-style comparison.
-func runAll(dir core.Direction, mb uint64) {
+func runAll(r *harness.Runner, dir core.Direction, mb uint64) {
 	designs := system.Designs()
-	ms := measureCached(designs, dir, mb)
+	ms := measureCached(r, designs, dir, mb)
 	fmt.Printf("direction   %v, %d MiB per design point\n\n", dir, mb)
 	fmt.Printf("%-12s %12s %12s %12s %12s\n",
 		"design", "GB/s", "vs Base", "energy (J)", "MB/J")
@@ -230,8 +173,8 @@ func runAll(dir core.Direction, mb uint64) {
 }
 
 // runOne prints the detailed single-design report.
-func runOne(design system.Design, dir core.Direction, mb uint64) {
-	m := measureCached([]system.Design{design}, dir, mb)[0]
+func runOne(r *harness.Runner, design system.Design, dir core.Direction, mb uint64) {
+	m := measureCached(r, []system.Design{design}, dir, mb)[0]
 	res, b := m.Res, m.Energy
 
 	fmt.Printf("design      %v\n", design)

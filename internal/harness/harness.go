@@ -1,8 +1,20 @@
 // Package harness regenerates every table and figure of the paper's
-// evaluation (Section VI). Each experiment is a function that runs the
-// required simulations and returns a structured result with a printable
-// rendering; cmd/pimmu-bench exposes them as subcommands and the
-// top-level benchmark suite runs them under testing.B.
+// evaluation (Section VI). Each experiment is split into three explicit
+// phases behind one declarative type:
+//
+//   - Plan enumerates the experiment's jobs — (config, op, cache key)
+//     triples — without simulating anything;
+//   - Compute executes the plan through the sweep layer and the result
+//     cache, returning pure gob-able results (the only phase that
+//     touches internal/system);
+//   - Render writes the deterministic text artifact from results alone.
+//
+// Execution state (lane topology, worker count, result cache,
+// lane-stats writer) lives in a Runner threaded explicitly through all
+// three phases; cmd/pimmu-sim, cmd/pimmu-bench and cmd/pimmu-replay
+// construct one per invocation. The split makes an experiment
+// addressable data: "serve experiment X at design point Y" is a plan
+// lookup plus a compute, not a rewrite.
 //
 // Quick mode shrinks transfer sizes so the full suite completes in
 // minutes on a laptop; the shapes (who wins, by what factor) are the
@@ -12,14 +24,8 @@ package harness
 import (
 	"fmt"
 	"io"
-	"sync"
-	"sync/atomic"
 
-	"repro/internal/core"
-	"repro/internal/resultcache"
-	"repro/internal/stats"
 	"repro/internal/sweep"
-	"repro/internal/system"
 )
 
 // Scale selects experiment sizing.
@@ -40,180 +46,55 @@ func (s Scale) String() string {
 	return "quick"
 }
 
-// shardOverride is the process-wide event-engine shard count applied to
-// every machine the experiments build; <= 1 selects the serial engine.
-var shardOverride atomic.Int64
-
-// coreLaneOverride is the process-wide per-core lane count (see
-// system.Config.CoreLanes).
-var coreLaneOverride atomic.Int64
-
-// SetShards selects the event-engine shard count for subsequent
-// experiment runs (the CLIs' -shards flag). system.Auto passes through
-// to each machine's Normalize, which sizes the worker pool to the host.
-// Experiment output is byte-identical across all shard counts >= 1,
-// auto included; only wall-clock time changes. The serial engine (0,
-// the default) can order same-instant event ties differently than the
-// sharded canonical order on some CPU-streaming workloads — see
-// system.Config.Shards — so 1 is the serial reference when comparing
-// against sharded runs.
-func SetShards(n int) { shardOverride.Store(int64(n)) }
-
-// Shards reports the shard count experiments currently use.
-func Shards() int { return int(shardOverride.Load()) }
-
-// SetCoreLanes selects the per-core lane count for subsequent experiment
-// runs (the CLIs' -core-lanes flag; requires -shards >= 1 or auto).
-// system.Auto resolves to one lane per configured CPU core. Output is
-// byte-identical across every core-lane count, auto included.
-func SetCoreLanes(n int) { coreLaneOverride.Store(int64(n)) }
-
-// CoreLanes reports the core-lane count experiments currently use.
-func CoreLanes() int { return int(coreLaneOverride.Load()) }
-
-// cache, when non-nil, fronts every experiment sweep with the
-// content-addressed result store (see SetCache).
-var (
-	cacheMu sync.Mutex
-	cache   sweep.Cache
-)
-
-// SetCache installs (or, with nil, removes) the result cache consulted
-// by every sweep-backed experiment (the CLIs' -cache-dir / -cache
-// flags). Each sweep job's key binds the machine's Config.Fingerprint,
-// an op string carrying the experiment's non-config inputs (direction,
-// size, workload identity, scale-dependent parameters), and the
-// resultcache code-version stamp — so a hit is byte-identical to the
-// computation it replaces and rendered tables are the same bytes warm or
-// cold. Side-effect diagnostics that run inside jobs (the -lane-stats
-// counters) are skipped on hits: they describe a simulation, and a hit
-// does not simulate.
-func SetCache(c sweep.Cache) {
-	cacheMu.Lock()
-	cache = c
-	cacheMu.Unlock()
-}
-
-// activeCache reports the installed result cache.
-func activeCache() sweep.Cache {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	return cache
-}
-
-// jobKey derives one sweep job's content-addressed cache key.
-func jobKey(cfg system.Config, op string) string {
-	return resultcache.KeyOf("harness/v1", resultcache.CodeVersion(), cfg.Fingerprint(), op)
-}
-
-// cachedMap is sweep.MapCached over the installed experiment cache; with
-// no cache installed it is exactly sweep.Map.
-func cachedMap[R any](n int, key func(i int) string, job func(i int) R) []R {
-	return sweep.MapCached(activeCache(), n, key, job)
-}
-
-// laneStats, when non-nil, receives a per-machine ShardStats block after
-// each transfer or replay an experiment runs (the CLIs' -lane-stats
-// flag). Blocks print whole under a lock, but machines running in
-// parallel sweeps interleave blocks in completion order: the output is a
-// diagnostic, deliberately kept out of the deterministic experiment
-// artifact.
-var (
-	laneStatsMu sync.Mutex
-	laneStats   io.Writer
-)
-
-// SetLaneStats installs (or, with nil, removes) the lane-stats
-// diagnostic writer.
-func SetLaneStats(w io.Writer) {
-	laneStatsMu.Lock()
-	laneStats = w
-	laneStatsMu.Unlock()
-}
-
-// reportLaneStats prints one machine's per-lane counters to the
-// diagnostic writer, then resets them: experiments reuse machines
-// across transfers (and Run calls generally), so without the reset each
-// block would re-report every earlier run's events. Resetting only
-// happens when a block was actually written — the counters are a
-// diagnostic, and clearing them must not depend on whether anyone
-// looks.
-func reportLaneStats(tag string, s *system.System) {
-	laneStatsMu.Lock()
-	defer laneStatsMu.Unlock()
-	if laneStats == nil {
-		return
-	}
-	st := s.Eng.ShardStats()
-	if st.Lanes == nil {
-		return // plain engine: nothing to attribute
-	}
-	fmt.Fprintf(laneStats, "-- lanes: %s --\n%s", tag, st)
-	s.Eng.ResetStats()
-}
-
-// newConfig is the Table I configuration at the given design point with
-// the experiment-wide shard and core-lane selections applied.
-func newConfig(d system.Design) system.Config {
-	cfg := system.DefaultConfig(d)
-	cfg.Shards = Shards()
-	cfg.CoreLanes = CoreLanes()
-	return cfg
-}
-
-// newSystem builds a fresh Table I machine at the given design point.
-func newSystem(d system.Design) *system.System {
-	return system.MustNew(newConfig(d))
-}
-
-// runTransfer executes one whole-device transfer of totalBytes.
-func runTransfer(s *system.System, dir core.Direction, totalBytes uint64) system.XferResult {
-	per := perCore(s, totalBytes)
-	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
-	reportLaneStats(fmt.Sprintf("%v %v %d MiB", s.Cfg.Design, dir, totalBytes>>20), s)
-	return res
-}
-
-// perCore converts a total size into the per-core size, floored to one
-// line.
-func perCore(s *system.System, totalBytes uint64) uint64 {
-	per := totalBytes / uint64(s.Cfg.PIM.NumCores()) &^ 63
-	if per < 64 {
-		per = 64
-	}
-	return per
-}
-
-// gb formats bytes/sec.
-func gb(v float64) string { return fmt.Sprintf("%.2f", v/1e9) }
-
-// ratio formats a multiplier.
-func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
-
-// Experiment names every reproducible artifact.
+// Experiment names one reproducible artifact and carries its three
+// phases. Compute's result is the value Render consumes; the typed pair
+// is wired through the exp constructor, so a registry entry cannot mix
+// a compute with a renderer of another experiment's result type.
 type Experiment struct {
 	Name  string
 	Brief string
-	Run   func(w io.Writer, sc Scale)
+	// Plan enumerates the experiment's jobs without simulating. Static
+	// experiments (table1, area) plan zero jobs.
+	Plan func(r *Runner, sc Scale) Plan
+	// Compute executes the plan's simulations and returns the pure,
+	// gob-able results the renderer consumes.
+	Compute func(r *Runner, sc Scale) any
+	// Render writes the deterministic text artifact from results alone.
+	Render func(w io.Writer, sc Scale, results any)
+}
+
+// exp wires one experiment's typed compute/render pair into the
+// registry entry.
+func exp[R any](name, brief string,
+	plan func(*Runner, Scale) Plan,
+	compute func(*Runner, Scale) R,
+	render func(io.Writer, Scale, R)) Experiment {
+	return Experiment{
+		Name:    name,
+		Brief:   brief,
+		Plan:    plan,
+		Compute: func(r *Runner, sc Scale) any { return compute(r, sc) },
+		Render:  func(w io.Writer, sc Scale, results any) { render(w, sc, results.(R)) },
+	}
 }
 
 // All lists every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "system configuration (Table I)", Table1},
-		{"fig4", "CPU utilization & power during transfers (Fig. 4)", Fig4},
-		{"fig6", "per-channel write-throughput breakdown (Fig. 6)", Fig6},
-		{"fig8", "DRAM bandwidth: locality vs MLP mapping (Fig. 8)", Fig8},
-		{"fig13a", "compute-contender sensitivity (Fig. 13a)", Fig13a},
-		{"fig13b", "memory-contender sensitivity (Fig. 13b)", Fig13b},
-		{"fig14", "DRAM->DRAM memcpy throughput (Fig. 14)", Fig14},
-		{"fig15a", "ablation: transfer throughput (Fig. 15a)", Fig15a},
-		{"fig15b", "ablation: energy (Fig. 15b)", Fig15b},
-		{"fig16", "PrIM end-to-end breakdown (Fig. 16)", Fig16},
-		{"area", "implementation overhead (Section VI-C)", Area},
-		{"headline", "headline speedups (abstract numbers)", Headline},
-		{"replay", "trace-driven workload replay (bandwidth/latency)", Replay},
-		{"loadcurve", "open-loop latency vs offered load (SLO knee)", LoadCurve},
+		exp("table1", "system configuration (Table I)", table1Plan, table1Compute, table1Render),
+		exp("fig4", "CPU utilization & power during transfers (Fig. 4)", fig4Plan, fig4Compute, fig4Render),
+		exp("fig6", "per-channel write-throughput breakdown (Fig. 6)", fig6Plan, fig6Compute, fig6Render),
+		exp("fig8", "DRAM bandwidth: locality vs MLP mapping (Fig. 8)", fig8Plan, fig8Compute, fig8Render),
+		exp("fig13a", "compute-contender sensitivity (Fig. 13a)", fig13aPlan, fig13aCompute, fig13aRender),
+		exp("fig13b", "memory-contender sensitivity (Fig. 13b)", fig13bPlan, fig13bCompute, fig13bRender),
+		exp("fig14", "DRAM->DRAM memcpy throughput (Fig. 14)", fig14Plan, fig14Compute, fig14Render),
+		exp("fig15a", "ablation: transfer throughput (Fig. 15a)", fig15aPlan, fig15aCompute, fig15aRender),
+		exp("fig15b", "ablation: energy (Fig. 15b)", fig15bPlan, fig15bCompute, fig15bRender),
+		exp("fig16", "PrIM end-to-end breakdown (Fig. 16)", fig16Plan, fig16Compute, fig16Render),
+		exp("area", "implementation overhead (Section VI-C)", areaPlan, areaCompute, areaRender),
+		exp("headline", "headline speedups (abstract numbers)", headlinePlan, headlineCompute, headlineRender),
+		exp("replay", "trace-driven workload replay (bandwidth/latency)", replayPlan, replayCompute, replayRender),
+		exp("loadcurve", "open-loop latency vs offered load (SLO knee)", loadCurvePlan, loadCurveCompute, loadCurveRender),
 	}
 }
 
@@ -227,99 +108,107 @@ func ByName(name string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// Table1 prints the simulated system configuration.
-func Table1(w io.Writer, _ Scale) {
-	cfg := system.DefaultConfig(system.PIMMMU)
-	t := stats.NewTable("component", "configuration")
-	cp := cfg.CPU
-	t.Rowf("CPU\t%d cores, %.1f GHz, %d load buffers, %d store buffers",
-		cp.Cores, float64(cp.Clock)/1e9, cp.LoadBuffers, cp.StoreBuffers)
-	t.Rowf("OS scheduler\tround robin, %v quantum", cp.Quantum)
-	t.Rowf("LLC\t%d MB shared, %d-way, 64 B lines",
-		cfg.Mem.LLC.SizeBytes>>20, cfg.Mem.LLC.Ways)
-	dg := cfg.Mem.DRAM.Geometry
-	t.Rowf("Memory controller\t%d-entry read & write queues, FR-FCFS, write drain %d/%d",
-		cfg.Mem.DRAM.QueueDepth, cfg.Mem.DRAM.WriteDrainHi, cfg.Mem.DRAM.WriteDrainLo)
-	t.Rowf("DRAM system\tDDR4-2400, %d channels, %d ranks/channel (%.1f GiB)",
-		dg.Channels, dg.Ranks, float64(dg.TotalBytes())/(1<<30))
-	pg := cfg.Mem.PIM.Geometry
-	t.Rowf("PIM system\tDDR4-2400, %d channels, %d ranks/channel, %d PIM cores (%d MiB MRAM each)",
-		pg.Channels, pg.Ranks, cfg.PIM.NumCores(), cfg.PIM.MRAMBytes()>>20)
-	t.Rowf("DCE\t%.1f GHz, %d KB data buffer, %d KB address buffer",
-		float64(cfg.DCE.Clock)/1e9, cfg.DCE.DataBufBytes>>10, cfg.DCE.AddrBufBytes>>10)
-	t.Rowf("PIM-MS\tAlgorithm 1 (channel-parallel, bank-group interleaved)")
-	t.Rowf("HetMap\tDRAM: MLP-centric + XOR hash; PIM: ChRaBgBkRoCo")
-	fmt.Fprint(w, t)
+// Lookup is ByName with near-miss reporting: an unknown name's error
+// suggests the closest experiment when one is plausibly close.
+func Lookup(name string) (Experiment, error) {
+	if e, ok := ByName(name); ok {
+		return e, nil
+	}
+	if s := suggest(name); s != "" {
+		return Experiment{}, fmt.Errorf("unknown experiment %q (did you mean %q?)", name, s)
+	}
+	return Experiment{}, fmt.Errorf("unknown experiment %q (try 'list')", name)
 }
 
-// Headline runs the abstract's summary numbers: average/max transfer
-// speedup and energy-efficiency gain of PIM-MMU over Base. Every
-// (direction x size x design) machine is independent, so the whole matrix
-// fans out through one sweep.
-func Headline(w io.Writer, sc Scale) {
-	sizes := []uint64{1 << 20, 4 << 20, 16 << 20}
-	if sc == Full {
-		sizes = append(sizes, 64<<20, 256<<20)
-	}
-	dirs := bothDirections
-	designs := baseVsMMU
-	type point struct{ Thr, Eff float64 }
-	g := sweep.NewGrid(len(dirs), len(sizes), len(designs))
-	res := cachedMap(g.Size(), func(i int) string {
-		return jobKey(newConfig(designs[g.Coord(i, 2)]),
-			fmt.Sprintf("headline dir=%v bytes=%d", dirs[g.Coord(i, 0)], sizes[g.Coord(i, 1)]))
-	}, func(i int) point {
-		s := newSystem(designs[g.Coord(i, 2)])
-		a0 := s.Activity()
-		r := runTransfer(s, dirs[g.Coord(i, 0)], sizes[g.Coord(i, 1)])
-		e := s.EnergyOver(a0, s.Activity())
-		return point{Thr: r.Throughput(), Eff: float64(r.Bytes) / e.Total()}
-	})
-	var speedups, effs []float64
-	for di := range dirs {
-		for si := range sizes {
-			b := res[g.Index(di, si, 0)]
-			m := res[g.Index(di, si, 1)]
-			speedups = append(speedups, m.Thr/b.Thr)
-			effs = append(effs, m.Eff/b.Eff)
+// suggest names the experiment closest to name within edit distance 2,
+// or "" when nothing is near enough to be a plausible typo.
+func suggest(name string) string {
+	best, bestDist := "", 3
+	for _, e := range All() {
+		if d := editDistance(name, e.Name); d < bestDist {
+			best, bestDist = e.Name, d
 		}
 	}
-	t := stats.NewTable("metric", "paper", "measured (avg)", "measured (max)")
-	t.Rowf("transfer throughput gain\t4.1x (max 6.9x)\t%s\t%s",
-		ratio(stats.Mean(speedups)), ratio(stats.Max(speedups)))
-	t.Rowf("energy-efficiency gain\t4.1x (max 6.9x)\t%s\t%s",
-		ratio(stats.Mean(effs)), ratio(stats.Max(effs)))
-	fmt.Fprint(w, t)
+	return best
 }
 
-// Area prints the Section VI-C implementation-overhead analysis.
-func Area(w io.Writer, _ Scale) {
-	cfg := core.DefaultConfig()
-	t := stats.NewTable("quantity", "paper", "model")
-	dataKB := cfg.DataBufBytes >> 10
-	addrKB := cfg.AddrBufBytes >> 10
-	t.Rowf("DCE SRAM\t16 KB + 64 KB\t%d KB + %d KB", dataKB, addrKB)
-	t.Rowf("area (32 nm)\t0.85 mm^2\t%.2f mm^2", areaMM2(cfg))
-	t.Rowf("CPU die overhead\t0.37%%\t%.2f%%", 100*dieFrac(cfg))
-	fmt.Fprint(w, t)
-}
-
-// windowBuckets renders the head of a series as percentage shares.
-func windowBuckets(series []*stats.Series, n int) [][]float64 {
-	rows := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		row := make([]float64, len(series))
-		var total float64
-		for c, s := range series {
-			row[c] = s.Bucket(i)
-			total += s.Bucket(i)
-		}
-		if total > 0 {
-			for c := range row {
-				row[c] = 100 * row[c] / total
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
 			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
 		}
-		rows[i] = row
+		prev, cur = cur, prev
 	}
-	return rows
+	return prev[len(b)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gb formats bytes/sec.
+func gb(v float64) string { return fmt.Sprintf("%.2f", v/1e9) }
+
+// ratio formats a multiplier.
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// testRunner backs the deprecated package-level entry points below. It
+// exists only so tests written against the pre-Runner API keep
+// compiling; new code constructs its own Runner.
+var testRunner = &Runner{}
+
+// SetShards selects the event-engine shard count on the package test
+// Runner.
+//
+// Deprecated: test-only shim; thread a *Runner instead.
+func SetShards(n int) { testRunner.Shards = n }
+
+// SetCoreLanes selects the per-core lane count on the package test
+// Runner.
+//
+// Deprecated: test-only shim; thread a *Runner instead.
+func SetCoreLanes(n int) { testRunner.CoreLanes = n }
+
+// SetCache installs (or, with nil, removes) the result cache on the
+// package test Runner.
+//
+// Deprecated: test-only shim; thread a *Runner instead.
+func SetCache(c sweep.Cache) { testRunner.Cache = c }
+
+// Run renders the experiment through the package test Runner.
+//
+// Deprecated: test-only shim; call (*Runner).Run instead.
+func (e Experiment) Run(w io.Writer, sc Scale) { testRunner.Run(e, w, sc) }
+
+// Fig8 runs the fig8 experiment through the package test Runner.
+//
+// Deprecated: test-only shim; look the experiment up and use a *Runner.
+func Fig8(w io.Writer, sc Scale) { mustByName("fig8").Run(w, sc) }
+
+// Table1 runs the table1 experiment through the package test Runner.
+//
+// Deprecated: test-only shim; look the experiment up and use a *Runner.
+func Table1(w io.Writer, sc Scale) { mustByName("table1").Run(w, sc) }
+
+// mustByName backs the fixed-name shims.
+func mustByName(name string) Experiment {
+	e, ok := ByName(name)
+	if !ok {
+		panic("harness: unknown experiment " + name)
+	}
+	return e
 }

@@ -20,7 +20,7 @@ func TestAllExperimentsListed(t *testing.T) {
 		if got[i].Name != name {
 			t.Errorf("experiment %d = %q, want %q", i, got[i].Name, name)
 		}
-		if got[i].Brief == "" || got[i].Run == nil {
+		if got[i].Brief == "" || got[i].Plan == nil || got[i].Compute == nil || got[i].Render == nil {
 			t.Errorf("experiment %q incomplete", name)
 		}
 	}
@@ -55,7 +55,7 @@ func TestTable1Rendering(t *testing.T) {
 
 func TestAreaRendering(t *testing.T) {
 	var buf bytes.Buffer
-	Area(&buf, Quick)
+	mustByName("area").Run(&buf, Quick)
 	out := buf.String()
 	if !strings.Contains(out, "0.85 mm^2") || !strings.Contains(out, "0.37%") {
 		t.Errorf("Area output missing paper reference values:\n%s", out)
@@ -87,7 +87,7 @@ func TestReplayEndToEnd(t *testing.T) {
 		t.Skip("simulation-backed experiment")
 	}
 	var buf bytes.Buffer
-	Replay(&buf, Quick)
+	mustByName("replay").Run(&buf, Quick)
 	out := buf.String()
 	for _, wl := range replayWorkloads() {
 		if !strings.Contains(out, wl.name) {
@@ -134,7 +134,7 @@ func TestReplayWorkloadNamesUnique(t *testing.T) {
 }
 
 func TestPerCoreFloor(t *testing.T) {
-	s := newSystem(0)
+	s := (&Runner{}).newSystem(0)
 	if got := perCore(s, 1); got != 64 {
 		t.Errorf("perCore(1 byte) = %d, want floor 64", got)
 	}

@@ -1,0 +1,228 @@
+// Runner, Job and Plan: the execution side of the plan/compute/render
+// split. This file and the compute_*.go files are the only harness
+// files allowed to import internal/system (enforced by cmd/pimmu-lint):
+// planning enumerates configs, computing simulates them, and rendering
+// never sees a machine at all.
+
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/resultcache"
+	"repro/internal/sweep"
+	"repro/internal/system"
+)
+
+// Runner carries every knob that used to live in package-global setters:
+// the lane topology applied to each simulated machine, the sweep worker
+// count, the result cache fronting compute, and the lane-stats
+// diagnostic writer. The CLIs construct one Runner per invocation and
+// thread it through all three experiment phases; tests build their own.
+//
+// Runner contains a mutex — always pass *Runner, never copy one.
+type Runner struct {
+	// Shards is the event-engine shard count applied to every machine
+	// built (the CLIs' -shards flag); <= 1 selects the serial engine,
+	// system.Auto sizes the pool to the host. Experiment output is
+	// byte-identical across all shard counts >= 1, auto included.
+	Shards int
+	// CoreLanes is the per-core lane count (the -core-lanes flag;
+	// requires Shards >= 1 or auto). Output is byte-identical across
+	// every core-lane count, auto included.
+	CoreLanes int
+	// Workers caps the sweep worker pool for this runner's computes
+	// (<= 0 selects the process-wide sweep default).
+	Workers int
+	// Cache, when non-nil, fronts every compute with the
+	// content-addressed result store: a hit is byte-identical to the
+	// computation it replaces, so rendered tables are the same bytes
+	// warm or cold.
+	Cache sweep.Cache
+	// LaneStats, when non-nil, receives a per-machine ShardStats block
+	// after each transfer or replay (the -lane-stats flag). Blocks print
+	// whole under the runner's lock, but machines running in parallel
+	// sweeps interleave blocks in completion order: the output is a
+	// diagnostic, deliberately kept out of the deterministic artifact.
+	// Cache hits skip the dump: they describe a simulation, and a hit
+	// does not simulate.
+	LaneStats io.Writer
+
+	laneStatsMu sync.Mutex
+}
+
+// Job is one plan-addressable unit of simulation: the machine
+// configuration to build, the op string carrying the experiment's
+// non-config inputs (direction, size, workload identity,
+// scale-dependent parameters), and the content-addressed cache key
+// binding both to the code version.
+type Job struct {
+	Key    string
+	Config system.Config
+	Op     string
+}
+
+// Plan is the pure enumeration of an experiment's jobs — no simulation
+// happens while building one. Plans make an experiment addressable
+// data: cache hit/miss accounting, GC, and remote dispatch all operate
+// on the enumerated keys instead of opaque closures.
+type Plan struct {
+	Experiment string
+	Jobs       []Job
+}
+
+// Run executes an experiment end to end through this runner:
+// compute (the only phase that simulates), then render.
+func (r *Runner) Run(e Experiment, w io.Writer, sc Scale) {
+	e.Render(w, sc, e.Compute(r, sc))
+}
+
+// Config is the Table I configuration at the given design point with
+// the runner's shard and core-lane selections applied.
+func (r *Runner) Config(d system.Design) system.Config {
+	cfg := system.DefaultConfig(d)
+	cfg.Shards = r.Shards
+	cfg.CoreLanes = r.CoreLanes
+	return cfg
+}
+
+// NewJob builds one plan job from an explicit configuration: the key
+// binds keyPrefix (a versioned namespace such as "harness/v1"), the
+// code-version stamp, the config fingerprint, and op.
+func (r *Runner) NewJob(keyPrefix string, cfg system.Config, op string) Job {
+	return Job{
+		Key:    resultcache.KeyOf(keyPrefix, resultcache.CodeVersion(), cfg.Fingerprint(), op),
+		Config: cfg,
+		Op:     op,
+	}
+}
+
+// job is NewJob at a default-config design point under the harness
+// namespace — the common case for experiment plans.
+func (r *Runner) job(d system.Design, op string) Job {
+	return r.NewJob("harness/v1", r.Config(d), op)
+}
+
+// ComputePlan executes a plan through the runner's cache and worker
+// pool: job i's result is served from the cache when a valid entry
+// exists under its key, and computed by run(i, job) otherwise. Results
+// round-trip through gob, so R must be a pure gob-able type — which is
+// also what makes it renderable without re-simulation.
+func ComputePlan[R any](r *Runner, p Plan, run func(i int, j Job) R) []R {
+	return sweep.MapCachedN(r.Cache, len(p.Jobs), r.Workers,
+		func(i int) string { return p.Jobs[i].Key },
+		func(i int) R { return run(i, p.Jobs[i]) })
+}
+
+// ReportLaneStats prints one machine's per-lane counters to the
+// runner's diagnostic writer, then resets them: experiments reuse
+// machines across transfers, so without the reset each block would
+// re-report every earlier run's events. Resetting only happens when a
+// block was actually written — the counters are a diagnostic, and
+// clearing them must not depend on whether anyone looks.
+func (r *Runner) ReportLaneStats(tag string, s *system.System) {
+	r.laneStatsMu.Lock()
+	defer r.laneStatsMu.Unlock()
+	if r.LaneStats == nil {
+		return
+	}
+	st := s.Eng.ShardStats()
+	if st.Lanes == nil {
+		return // plain engine: nothing to attribute
+	}
+	fmt.Fprintf(r.LaneStats, "-- lanes: %s --\n%s", tag, st)
+	s.Eng.ResetStats()
+}
+
+// newSystem builds a fresh Table I machine at the given design point.
+func (r *Runner) newSystem(d system.Design) *system.System {
+	return system.MustNew(r.Config(d))
+}
+
+// runTransfer executes one whole-device transfer of totalBytes.
+func (r *Runner) runTransfer(s *system.System, dir core.Direction, totalBytes uint64) system.XferResult {
+	per := perCore(s, totalBytes)
+	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
+	r.ReportLaneStats(fmt.Sprintf("%v %v %d MiB", s.Cfg.Design, dir, totalBytes>>20), s)
+	return res
+}
+
+// perCore converts a total size into the per-core size, floored to one
+// line.
+func perCore(s *system.System, totalBytes uint64) uint64 {
+	per := totalBytes / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	if per < 64 {
+		per = 64
+	}
+	return per
+}
+
+// RunnerFlagNames is the canonical shared flag set every CLI registers
+// through RegisterRunnerFlags; the per-CLI flag tests assert all three
+// binaries accept exactly these names.
+func RunnerFlagNames() []string {
+	return []string{"workers", "shards", "core-lanes", "lane-stats", "cache-dir", "cache"}
+}
+
+// RunnerFlags holds the parsed-but-unresolved shared CLI flags; call
+// Runner after FlagSet.Parse to resolve them.
+type RunnerFlags struct {
+	workers             *int
+	shards, coreLanes   *string
+	laneStats           *bool
+	cacheDir, cacheMode *string
+}
+
+// RegisterRunnerFlags registers the lane-topology, worker, lane-stats
+// and result-cache flags shared by pimmu-sim, pimmu-bench and
+// pimmu-replay on fs, deduplicating what each CLI used to spell out.
+func RegisterRunnerFlags(fs *flag.FlagSet) *RunnerFlags {
+	f := &RunnerFlags{}
+	f.workers = fs.Int("workers", 0, "parallel simulations per sweep (0 = all cores, 1 = serial)")
+	f.shards = fs.String("shards", "0", "event-engine shards per machine (0 = serial engine, >= 2 = parallel windows, auto = sized to this host)")
+	f.coreLanes = fs.String("core-lanes", "0", "per-core event lanes per machine (requires -shards >= 1; auto = one per core)")
+	f.laneStats = fs.Bool("lane-stats", false, "dump per-lane event counters to stderr after each simulated run")
+	f.cacheDir = fs.String("cache-dir", "", "result-cache directory (empty = caching off)")
+	f.cacheMode = fs.String("cache", "rw", "result-cache mode: off, rw, or ro")
+	return f
+}
+
+// CacheDir reports the parsed -cache-dir value (for cache maintenance
+// commands that operate on the directory without opening a store).
+func (f *RunnerFlags) CacheDir() string { return *f.cacheDir }
+
+// Runner resolves the parsed flags into a Runner and its backing store
+// (nil when caching is off). laneStats is the writer -lane-stats dumps
+// to (normally os.Stderr). Warnings are returned for the caller to
+// print under its own prefix; on error the Runner is nil.
+func (f *RunnerFlags) Runner(laneStats io.Writer) (*Runner, *resultcache.Store, []string, error) {
+	shardsN, err := system.ParseLaneFlag(*f.shards)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("-shards: %w", err)
+	}
+	coreLanesN, err := system.ParseLaneFlag(*f.coreLanes)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("-core-lanes: %w", err)
+	}
+	sh, cl, warns, err := system.NormalizeLaneFlags(shardsN, coreLanesN)
+	if err != nil {
+		return nil, nil, warns, err
+	}
+	store, err := resultcache.OpenFlags(*f.cacheDir, *f.cacheMode)
+	if err != nil {
+		return nil, nil, warns, err
+	}
+	r := &Runner{Shards: sh, CoreLanes: cl, Workers: *f.workers}
+	if store != nil {
+		// A nil *Store must not become a non-nil sweep.Cache interface.
+		r.Cache = store
+	}
+	if *f.laneStats {
+		r.LaneStats = laneStats
+	}
+	return r, store, warns, nil
+}

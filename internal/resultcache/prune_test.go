@@ -1,0 +1,90 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// putAs writes one valid entry under the given code version.
+func putAs(t *testing.T, dir, version, key string, payload []byte) {
+	t.Helper()
+	SetCodeVersion(version)
+	defer SetCodeVersion("")
+	s, err := Open(dir, ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(key, payload)
+	if st := s.Stats(); st.Stores != 1 {
+		t.Fatalf("Put did not store: %v", st)
+	}
+}
+
+func TestPruneMixedVersions(t *testing.T) {
+	dir := t.TempDir()
+	putAs(t, dir, "v-old", "stale1", []byte("a"))
+	putAs(t, dir, "v-old", "stale2", []byte("b"))
+	putAs(t, dir, "v-new", "fresh", []byte("c"))
+
+	st, err := Prune(dir, "v-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 3 || st.Pruned != 2 || st.Kept != 1 || st.Skipped != 0 {
+		t.Fatalf("Prune stats = %+v, want scanned 3, pruned 2, kept 1", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fresh"+entrySuffix)); err != nil {
+		t.Errorf("current-version entry deleted: %v", err)
+	}
+	for _, k := range []string{"stale1", "stale2"} {
+		if _, err := os.Stat(filepath.Join(dir, k+entrySuffix)); !os.IsNotExist(err) {
+			t.Errorf("stale entry %q not deleted (err=%v)", k, err)
+		}
+	}
+
+	// A second pass finds nothing left to prune.
+	st, err = Prune(dir, "v-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pruned != 0 || st.Kept != 1 {
+		t.Fatalf("second Prune stats = %+v, want pruned 0, kept 1", st)
+	}
+}
+
+// Prune must refuse to delete anything that is not a valid entry: a
+// foreign file that merely carries the suffix, and files without the
+// suffix entirely — pointing the GC at the wrong directory must be
+// harmless.
+func TestPruneRefusesNonEntries(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "notes"+entrySuffix)
+	if err := os.WriteFile(foreign, []byte("not a PMRC entry"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	unrelated := filepath.Join(dir, "README.md")
+	if err := os.WriteFile(unrelated, []byte("# docs"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	putAs(t, dir, "v-old", "stale", []byte("x"))
+
+	st, err := Prune(dir, "v-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 2 || st.Pruned != 1 || st.Skipped != 1 {
+		t.Fatalf("Prune stats = %+v, want scanned 2, pruned 1, skipped 1", st)
+	}
+	for _, p := range []string{foreign, unrelated} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("Prune touched non-entry %s: %v", p, err)
+		}
+	}
+}
+
+func TestPruneMissingDir(t *testing.T) {
+	if _, err := Prune(filepath.Join(t.TempDir(), "nope"), "v"); err == nil {
+		t.Error("Prune on a missing directory did not error")
+	}
+}

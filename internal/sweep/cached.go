@@ -33,8 +33,18 @@ type Cache interface {
 // recomputed and overwritten. key(i) is only evaluated when a cache is
 // installed; with c == nil MapCached is exactly Map.
 func MapCached[R any](c Cache, n int, key func(i int) string, job func(i int) R) []R {
+	return MapCachedN(c, n, 0, key, job)
+}
+
+// MapCachedN is MapCached with an explicit worker count for the
+// miss-computing pool (workers <= 0 selects the process-wide default, so
+// SetWorkers still governs callers that do not pin a count).
+func MapCachedN[R any](c Cache, n, workers int, key func(i int) string, job func(i int) R) []R {
+	if workers <= 0 {
+		workers = Workers()
+	}
 	if c == nil {
-		return Map(n, job)
+		return MapN(n, workers, job)
 	}
 	out := make([]R, n)
 	keys := make([]string, n)
@@ -56,7 +66,7 @@ func MapCached[R any](c Cache, n int, key func(i int) string, job func(i int) R)
 	// Only the misses occupy workers; each stores its result as soon as
 	// it is computed, so an interrupted sweep still persists every
 	// finished design point.
-	results := Map(len(miss), func(j int) R {
+	results := MapN(len(miss), workers, func(j int) R {
 		r := job(miss[j])
 		if payload, ok := encodeResult(r); ok {
 			c.Put(keys[miss[j]], payload)

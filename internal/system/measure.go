@@ -1,0 +1,46 @@
+package system
+
+import (
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+// ChannelStat is the per-PIM-channel slice of a TransferMeasurement.
+type ChannelStat struct {
+	BytesWritten uint64
+	RowHitRate   float64
+}
+
+// TransferMeasurement is one design point's whole-device transfer
+// outcome — pure data, so it round-trips through the result cache and
+// is addressable from an experiment plan; everything the CLI reports
+// print is captured here, not held in a live *System.
+type TransferMeasurement struct {
+	Res    XferResult
+	Energy energy.Breakdown
+
+	DRAMRead, DRAMWritten uint64
+	PIMRead, PIMWritten   uint64
+	PIMCh                 []ChannelStat
+}
+
+// MeasureTransfer runs one whole-device transfer of mb MiB (split
+// across every PIM core, floored to one line per core) and snapshots
+// the result, the energy over the transfer, and the memory-system
+// counters the detailed reports render.
+func (s *System) MeasureTransfer(dir core.Direction, mb uint64) TransferMeasurement {
+	per := (mb << 20) / uint64(s.Cfg.PIM.NumCores()) &^ 63
+	if per < 64 {
+		per = 64
+	}
+	before := s.Activity()
+	res := s.RunTransfer(s.TransferOp(dir, s.Cfg.PIM.NumCores(), per))
+	m := TransferMeasurement{Res: res, Energy: s.EnergyOver(before, s.Activity())}
+	ds, ps := s.Mem.DRAM.Stats(), s.Mem.PIM.Stats()
+	m.DRAMRead, m.DRAMWritten = ds.BytesRead(), ds.BytesWritten()
+	m.PIMRead, m.PIMWritten = ps.BytesRead(), ps.BytesWritten()
+	for _, c := range ps.Channels {
+		m.PIMCh = append(m.PIMCh, ChannelStat{BytesWritten: c.BytesWritten, RowHitRate: c.RowHitRate()})
+	}
+	return m
+}
