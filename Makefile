@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test test-slow bench bench-compare
+.PHONY: check fmt vet lint build test test-slow bench bench-compare profile
 
 # The tier-1 gate: formatting, static checks, build, tests.
 check: fmt lint build test
@@ -59,3 +59,16 @@ bench-compare:
 	$(MAKE) bench || { rm -f BENCH_engine.baseline.tmp; exit 1; }
 	$(GO) run ./cmd/pimmu-benchdiff BENCH_engine.baseline.tmp BENCH_engine.json; \
 		status=$$?; rm -f BENCH_engine.baseline.tmp; exit $$status
+
+# CPU- and heap-profile a representative simulation-heavy experiment
+# through the shared -cpuprofile/-memprofile flags (every CLI accepts
+# them). Inspect with `go tool pprof cpu.pprof` / `go tool pprof
+# mem.pprof`. Override PROFILE_EXPERIMENT / PROFILE_FLAGS to aim the
+# profiler elsewhere.
+PROFILE_EXPERIMENT ?= headline
+PROFILE_FLAGS ?= -shards auto -core-lanes auto
+
+profile:
+	$(GO) run ./cmd/pimmu-bench $(PROFILE_FLAGS) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof $(PROFILE_EXPERIMENT)
+	@echo "wrote cpu.pprof and mem.pprof"

@@ -438,7 +438,12 @@ func BenchmarkLoadCurveTail(b *testing.B) {
 
 // BenchmarkHarnessQuickTable1 exercises the harness printer path.
 func BenchmarkHarnessQuickTable1(b *testing.B) {
+	table1, ok := harness.ByName("table1")
+	if !ok {
+		b.Fatal("table1 experiment not registered")
+	}
+	r := &harness.Runner{}
 	for i := 0; i < b.N; i++ {
-		harness.Table1(io.Discard, harness.Quick)
+		r.Run(table1, io.Discard, harness.Quick)
 	}
 }

@@ -14,7 +14,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/resultcache"
-	"repro/internal/sweep"
+	"repro/internal/system"
 )
 
 // cachedExperiments are the tier-1 representatives: fig8 caches plain
@@ -23,35 +23,30 @@ import (
 // audits extend byte-identity to every experiment uncached.
 var cachedExperiments = []string{"fig8", "replay"}
 
-// renderWith renders one experiment with the given sweep/topology
-// settings, restoring process-wide state afterwards.
-func renderWith(t *testing.T, name string, workers, shards, coreLanes int) []byte {
+// renderWith renders one experiment through a fresh Runner with the
+// given sweep/topology settings, fronted by store when non-nil.
+func renderWith(t *testing.T, store *resultcache.Store, name string, workers, shards, coreLanes int) []byte {
 	t.Helper()
 	e, ok := harness.ByName(name)
 	if !ok {
 		t.Fatalf("unknown experiment %q", name)
 	}
-	sweep.SetWorkers(workers)
-	harness.SetShards(shards)
-	harness.SetCoreLanes(coreLanes)
-	defer sweep.SetWorkers(0)
-	defer harness.SetShards(0)
-	defer harness.SetCoreLanes(0)
+	r := &harness.Runner{Shards: shards, CoreLanes: coreLanes, Workers: workers}
+	if store != nil {
+		r.Cache = store
+	}
 	var b bytes.Buffer
-	e.Run(&b, harness.Quick)
+	r.Run(e, &b, harness.Quick)
 	return b.Bytes()
 }
 
-// openCache builds a fresh rw store over dir and installs it in the
-// harness for the duration of the test.
+// openCache builds a fresh store over dir.
 func openCache(t *testing.T, dir string, mode resultcache.Mode) *resultcache.Store {
 	t.Helper()
 	store, err := resultcache.Open(dir, mode)
 	if err != nil {
 		t.Fatal(err)
 	}
-	harness.SetCache(store)
-	t.Cleanup(func() { harness.SetCache(nil) })
 	return store
 }
 
@@ -74,7 +69,7 @@ func TestCacheHitRerunByteIdentical(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			pinVersion(t, "cache-test-v1")
 			store := openCache(t, t.TempDir(), resultcache.ReadWrite)
-			cold := renderWith(t, name, 1, 0, 0)
+			cold := renderWith(t, store, name, 1, 0, 0)
 			st := store.Stats()
 			if st.Hits != 0 || st.Misses == 0 || st.Stores != st.Misses {
 				t.Fatalf("cold-run stats: %+v", st)
@@ -82,7 +77,7 @@ func TestCacheHitRerunByteIdentical(t *testing.T) {
 			jobs := st.Misses
 			for _, workers := range []int{1, 4, 8} {
 				before := store.Stats()
-				warm := renderWith(t, name, workers, 0, 0)
+				warm := renderWith(t, store, name, workers, 0, 0)
 				if !bytes.Equal(cold, warm) {
 					t.Fatalf("workers=%d: warm run differs from cold\n--- cold ---\n%s--- warm ---\n%s",
 						workers, cold, warm)
@@ -96,45 +91,120 @@ func TestCacheHitRerunByteIdentical(t *testing.T) {
 	}
 }
 
-// TestCacheTopologyChangesDoNotAlias proves no cross-topology aliasing:
-// the lane-topology fields are part of the fingerprint, so a sharded
-// rerun recomputes rather than reusing plain-engine entries — and still
-// renders the identical artifact (the cross-shard invariant pinned by
-// sharded_test.go).
-func TestCacheTopologyChangesDoNotAlias(t *testing.T) {
+// TestCacheCrossTopologyReuse pins the result-neutral fingerprint: the
+// lane-topology knobs are masked out of the cache key, so entries
+// warmed at shards=1 serve every sharded topology — different shard
+// counts, core-lane counts, auto — with zero re-simulation and
+// byte-identical output (the cross-shard invariant sharded_test.go
+// proves is what makes the sharing sound). The plain engine (shards=0)
+// keeps its own keys: fig8 is a CPU-streaming workload where it
+// legitimately orders same-instant ties differently — see
+// system.Config.Shards — so plain and sharded must never alias.
+func TestCacheCrossTopologyReuse(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed experiment")
 	}
 	pinVersion(t, "cache-test-v1")
 	store := openCache(t, t.TempDir(), resultcache.ReadWrite)
-	// The serial sharded engine (shards=1) is the reference: output is
-	// byte-identical across every topology with shards >= 1. (The plain
-	// engine is its own fingerprint too, but fig8 is a CPU-streaming
-	// workload where it legitimately orders same-instant ties
-	// differently — see system.Config.Shards — so it is not the
-	// comparison base here.)
-	serial := renderWith(t, "fig8", 4, 1, 0)
+	serial := renderWith(t, store, "fig8", 4, 1, 0)
 	jobs := store.Stats().Misses
-	for _, topo := range []struct{ shards, coreLanes int }{{0, 0}, {2, 4}} {
+	for _, topo := range []struct{ shards, coreLanes int }{
+		{2, 4}, {4, 2}, {system.Auto, system.Auto},
+	} {
 		before := store.Stats()
-		got := renderWith(t, "fig8", 4, topo.shards, topo.coreLanes)
-		if topo.shards >= 1 && !bytes.Equal(serial, got) {
-			t.Fatalf("shards=%d core-lanes=%d: output diverged from serial sharded engine",
+		got := renderWith(t, store, "fig8", 4, topo.shards, topo.coreLanes)
+		if !bytes.Equal(serial, got) {
+			t.Fatalf("shards=%d core-lanes=%d: warm output diverged from serial sharded engine",
 				topo.shards, topo.coreLanes)
 		}
 		d := store.Stats().Sub(before)
-		if d.Hits != 0 || d.Misses != jobs {
-			t.Fatalf("shards=%d core-lanes=%d: delta %+v, want %d fresh misses",
+		if d.Hits != jobs || d.Misses != 0 {
+			t.Fatalf("shards=%d core-lanes=%d: delta %+v, want %d hits and no re-simulation",
 				topo.shards, topo.coreLanes, d, jobs)
 		}
 	}
-	// The original topology's entries are still intact.
+	// The plain engine is a different engine class: fresh misses, and
+	// the sharded entries stay intact underneath.
 	before := store.Stats()
-	if warm := renderWith(t, "fig8", 4, 1, 0); !bytes.Equal(serial, warm) {
+	renderWith(t, store, "fig8", 4, 0, 0)
+	if d := store.Stats().Sub(before); d.Hits != 0 || d.Misses != jobs {
+		t.Fatalf("plain-engine delta %+v, want %d fresh misses", d, jobs)
+	}
+	before = store.Stats()
+	if warm := renderWith(t, store, "fig8", 4, 1, 0); !bytes.Equal(serial, warm) {
 		t.Fatal("serial-sharded rerun no longer matches")
 	}
 	if d := store.Stats().Sub(before); d.Hits != jobs {
 		t.Fatalf("serial-sharded entries lost: %+v", d)
+	}
+}
+
+// TestCacheWarmShards1ServesShards4 is the headline acceptance path for
+// result-neutral keys, on the two experiments the nightly render job
+// publishes: a cache warmed at -shards 1 replays headline and loadcurve
+// at -shards 4 -core-lanes 4 with hit count == job count and the
+// artifact byte-identical — turning a lane-topology knob costs zero
+// re-simulation.
+func TestCacheWarmShards1ServesShards4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	for _, name := range []string{"headline", "loadcurve"} {
+		t.Run(name, func(t *testing.T) {
+			pinVersion(t, "cache-test-v1")
+			store := openCache(t, t.TempDir(), resultcache.ReadWrite)
+			cold := renderWith(t, store, name, 0, 1, 0)
+			jobs := store.Stats().Misses
+			if jobs == 0 {
+				t.Fatalf("%s planned no cacheable jobs", name)
+			}
+			before := store.Stats()
+			warm := renderWith(t, store, name, 0, 4, 4)
+			if !bytes.Equal(cold, warm) {
+				t.Fatalf("warm shards=4 core-lanes=4 render differs from cold shards=1\n--- cold ---\n%s--- warm ---\n%s",
+					cold, warm)
+			}
+			d := store.Stats().Sub(before)
+			if d.Hits != jobs || d.Misses != 0 {
+				t.Fatalf("cross-topology delta %+v, want %d hits and zero misses", d, jobs)
+			}
+			// And the reuse is stable: rerunning the moved topology stays
+			// all-hits (nothing was re-stored under a different key).
+			before = store.Stats()
+			renderWith(t, store, name, 0, 4, 4)
+			if d := store.Stats().Sub(before); d.Misses != 0 {
+				t.Fatalf("identical rerun missed: %+v", d)
+			}
+		})
+	}
+}
+
+// TestCacheNonNeutralPerturbationMisses proves the mask is surgical:
+// changing a result-affecting config field (a DRAM timing parameter)
+// under the same topology forces fresh misses, never a stale hit.
+func TestCacheNonNeutralPerturbationMisses(t *testing.T) {
+	pinVersion(t, "cache-test-v1")
+	cfg := system.DefaultConfig(system.PIMMMU)
+	cfg.Shards = 1
+	r := &harness.Runner{}
+	base := r.NewJob("test/v1", cfg, "op")
+	// Neutral change: same key.
+	moved := cfg
+	moved.Shards, moved.CoreLanes = 4, 4
+	if r.NewJob("test/v1", moved, "op").Key != base.Key {
+		t.Fatal("lane-topology change altered the cache key")
+	}
+	// Non-neutral change: different key.
+	timing := cfg
+	timing.Mem.DRAM.Timing.CL++
+	if r.NewJob("test/v1", timing, "op").Key == base.Key {
+		t.Fatal("DRAM timing change did not alter the cache key")
+	}
+	// Engine class change: different key.
+	plain := cfg
+	plain.Shards = 0
+	if r.NewJob("test/v1", plain, "op").Key == base.Key {
+		t.Fatal("plain-engine config shares the sharded cache key")
 	}
 }
 
@@ -149,7 +219,7 @@ func TestCacheCorruptEntriesRecomputed(t *testing.T) {
 	pinVersion(t, "cache-test-v1")
 	dir := t.TempDir()
 	store := openCache(t, dir, resultcache.ReadWrite)
-	cold := renderWith(t, "fig8", 2, 0, 0)
+	cold := renderWith(t, store, "fig8", 2, 0, 0)
 	entries, err := filepath.Glob(filepath.Join(dir, "*.prc"))
 	if err != nil || len(entries) == 0 {
 		t.Fatalf("no cache entries written: %v (%v)", entries, err)
@@ -172,7 +242,7 @@ func TestCacheCorruptEntriesRecomputed(t *testing.T) {
 		}
 	}
 	before := store.Stats()
-	warm := renderWith(t, "fig8", 2, 0, 0)
+	warm := renderWith(t, store, "fig8", 2, 0, 0)
 	if !bytes.Equal(cold, warm) {
 		t.Fatalf("recomputed run differs from cold\n--- cold ---\n%s--- recomputed ---\n%s", cold, warm)
 	}
@@ -182,7 +252,7 @@ func TestCacheCorruptEntriesRecomputed(t *testing.T) {
 	}
 	// The repaired entries hit again.
 	before = store.Stats()
-	renderWith(t, "fig8", 2, 0, 0)
+	renderWith(t, store, "fig8", 2, 0, 0)
 	if d := store.Stats().Sub(before); d.Hits != uint64(len(entries)) || d.Misses != 0 {
 		t.Fatalf("repair did not stick: %+v", d)
 	}
@@ -197,11 +267,11 @@ func TestCacheCodeVersionChangeForcesMiss(t *testing.T) {
 	}
 	pinVersion(t, "build-A")
 	store := openCache(t, t.TempDir(), resultcache.ReadWrite)
-	cold := renderWith(t, "fig8", 2, 0, 0)
+	cold := renderWith(t, store, "fig8", 2, 0, 0)
 	jobs := store.Stats().Misses
 	resultcache.SetCodeVersion("build-B")
 	before := store.Stats()
-	if got := renderWith(t, "fig8", 2, 0, 0); !bytes.Equal(cold, got) {
+	if got := renderWith(t, store, "fig8", 2, 0, 0); !bytes.Equal(cold, got) {
 		t.Fatal("same-code rerun under a new stamp changed output")
 	}
 	if d := store.Stats().Sub(before); d.Hits != 0 || d.Misses != jobs {
@@ -211,7 +281,7 @@ func TestCacheCodeVersionChangeForcesMiss(t *testing.T) {
 	// coexist in one directory without clobbering each other's keys.
 	resultcache.SetCodeVersion("build-A")
 	before = store.Stats()
-	renderWith(t, "fig8", 2, 0, 0)
+	renderWith(t, store, "fig8", 2, 0, 0)
 	if d := store.Stats().Sub(before); d.Hits != jobs {
 		t.Fatalf("original version's entries lost: %+v", d)
 	}
@@ -226,10 +296,10 @@ func TestCacheReadOnlySharing(t *testing.T) {
 	pinVersion(t, "cache-test-v1")
 	dir := t.TempDir()
 	// Warm half the cache in rw mode, then reopen read-only.
-	openCache(t, dir, resultcache.ReadWrite)
-	cold := renderWith(t, "fig8", 2, 0, 0)
+	rw := openCache(t, dir, resultcache.ReadWrite)
+	cold := renderWith(t, rw, "fig8", 2, 0, 0)
 	ro := openCache(t, dir, resultcache.ReadOnly)
-	if got := renderWith(t, "fig8", 2, 0, 0); !bytes.Equal(cold, got) {
+	if got := renderWith(t, ro, "fig8", 2, 0, 0); !bytes.Equal(cold, got) {
 		t.Fatal("read-only warm run differs")
 	}
 	st := ro.Stats()
@@ -238,7 +308,7 @@ func TestCacheReadOnlySharing(t *testing.T) {
 	}
 	// A different experiment misses and recomputes without writing.
 	before := ro.Stats()
-	renderWith(t, "replay", 2, 0, 0)
+	renderWith(t, ro, "replay", 2, 0, 0)
 	d := ro.Stats().Sub(before)
 	if d.Misses == 0 || d.Stores != 0 {
 		t.Fatalf("read-only miss path delta %+v", d)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	pimmu-bench [-full] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] <experiment>|all|list
+//	pimmu-bench [-full] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] <experiment>|all|list
 //
 // Experiments: table1 fig4 fig6 fig8 fig13a fig13b fig14 fig15a fig15b
 // fig16 area headline. Quick sizes are the default; -full uses the
@@ -27,10 +27,18 @@
 // (one design point of one experiment) is keyed on (config fingerprint,
 // op, code version) and served from disk when a prior run already
 // computed it — which is what makes `-full` reruns and the nightly CI
-// render incremental. Experiment tables are byte-identical warm or cold;
-// the per-experiment hit/miss summary prints in the timing footer, which
-// is not part of the deterministic artifact. -cache ro shares a cache
-// directory without writing to it (e.g. a CI-owned cache).
+// render incremental. The fingerprint excludes -shards, -core-lanes and
+// -workers: those knobs change how fast a simulation runs, never what it
+// computes, so a cache warmed at one lane topology serves every other
+// (the plain -shards 0 engine keys separately — it may order
+// same-instant event ties differently). Experiment tables are
+// byte-identical warm or cold; the per-experiment hit/miss summary
+// prints in the timing footer, which is not part of the deterministic
+// artifact. -cache ro shares a cache directory without writing to it
+// (e.g. a CI-owned cache).
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (see
+// `make profile` for the canonical invocation).
 package main
 
 import (
@@ -85,24 +93,33 @@ func main() {
 		sc = harness.Full
 	}
 	name := flag.Arg(0)
-	switch name {
-	case "list":
+	if name == "list" {
 		for _, e := range harness.All() {
 			fmt.Printf("  %-9s %s\n", e.Name, e.Brief)
 		}
 		return
-	case "all":
-		for _, e := range harness.All() {
-			runOne(runner, e, sc)
-		}
-		return
 	}
-	e, err := harness.Lookup(name)
+	exps := harness.All()
+	if name != "all" {
+		e, err := harness.Lookup(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+	stopProf, err := f.runner.StartProfiles()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
 		os.Exit(2)
 	}
-	runOne(runner, e, sc)
+	for _, e := range exps {
+		runOne(runner, e, sc)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func runOne(r *harness.Runner, e harness.Experiment, sc harness.Scale) {
@@ -122,6 +139,6 @@ func runOne(r *harness.Runner, e harness.Experiment, sc harness.Scale) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] <experiment>|all|list\n")
+	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] <experiment>|all|list\n")
 	flag.PrintDefaults()
 }

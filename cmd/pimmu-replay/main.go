@@ -6,8 +6,8 @@
 //	pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
 //	pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
 //	pimmu-replay inspect [-n N] FILE
-//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
-//	pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,...] [-n N] [-slo-ns N] [-seed S] [... replay's topology and cache flags]
+//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] FILE
+//	pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,...] [-n N] [-slo-ns N] [-seed S] [... replay's topology, cache and profile flags]
 //
 // record captures every request a transfer presents to the memory port
 // of the chosen design; gen synthesizes one of the built-in application
@@ -39,8 +39,14 @@
 // result is served from disk when already computed. The trace identity
 // is a digest of the canonical binary encoding of the records, so the
 // same workload hits whether it was stored as text or binary, and any
-// record change forces a recompute. The report is byte-identical warm or
-// cold; the hit/miss summary goes to stderr.
+// record change forces a recompute. The machine fingerprint excludes
+// -shards, -core-lanes and -workers — they change execution speed,
+// never results — so a cache warmed at one lane topology serves every
+// other (the plain -shards 0 engine keys separately). The report is
+// byte-identical warm or cold; the hit/miss summary goes to stderr.
+//
+// replay and load also accept -cpuprofile and -memprofile, writing
+// pprof profiles that cover the replayed simulations.
 package main
 
 import (
@@ -97,8 +103,8 @@ func usage() {
   pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
   pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
   pimmu-replay inspect [-n N] FILE
-  pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] FILE
-  pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,NS,...] [-n N] [-slo-ns N] [-seed S] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro]
+  pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] FILE
+  pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,NS,...] [-n N] [-slo-ns N] [-seed S] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE]
 `)
 }
 
@@ -278,6 +284,10 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := f.runner.StartProfiles()
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
 	op := fmt.Sprintf("trace=%s rcfg=%s", traceID, resultcache.Canonical(cfg))
 	plan := func(designs []system.Design) harness.Plan {
 		jobs := make([]harness.Job, len(designs))
@@ -304,7 +314,7 @@ func cmdReplay(args []string) error {
 					r.Latency.P50().Nanoseconds(), r.Latency.P95().Nanoseconds(), r.Latency.P99().Nanoseconds()),
 				r.Retries, r.Slip)
 		}
-		return nil
+		return stopProf()
 	}
 
 	design, err := system.ParseDesign(*designFlag)
@@ -320,7 +330,7 @@ func cmdReplay(args []string) error {
 	fmt.Printf("latency    %v avg, p50 <= %v, p95 <= %v, p99 <= %v\n",
 		r.AvgLatency(), r.Latency.P50(), r.Latency.P95(), r.Latency.P99())
 	fmt.Printf("pressure   %d retries, %v max slip behind the trace clock\n", r.Retries, r.Slip)
-	return nil
+	return stopProf()
 }
 
 // cmdLoad sweeps an open-loop arrival process over an offered-load axis
@@ -387,6 +397,10 @@ func cmdLoad(args []string) error {
 			fmt.Sprintf("pattern=%s gen=%s dcfg=%s", *pattern,
 				resultcache.Canonical(gcfg), resultcache.Canonical(dcfgAt(gaps[p.gi]))))
 	}
+	stopProf, err := f.runner.StartProfiles()
+	if err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
 	results := harness.ComputePlan(runner,
 		harness.Plan{Experiment: "pimmu-load", Jobs: jobs},
 		func(i int, j harness.Job) trace.LoadResult {
@@ -415,7 +429,7 @@ func cmdLoad(args []string) error {
 	}
 	fmt.Printf("\nmax load @ p99 <= %v: Base %s, PIM-MMU %s\n",
 		slo, kneeGBs(knee[0]), kneeGBs(knee[1]))
-	return nil
+	return stopProf()
 }
 
 // parseGaps parses the comma-separated -gaps axis (nanoseconds).

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-list] [-cache-gc]
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] [-list] [-cache-gc]
 //
 // -workers parallelizes across independent design-point machines;
 // -shards parallelizes inside each machine, running its lane topology —
@@ -18,16 +18,25 @@
 // including auto (0 can break same-instant event ties differently on
 // some workloads; see system.Config.Shards).
 //
-// -lane-stats dumps each simulated machine's per-lane event counters to
-// stderr after its transfer — the adaptive controller's inputs. Cache
-// hits skip the dump: they describe a simulation, and a hit does not
-// simulate.
+// -lane-stats dumps each simulated machine's per-lane event counters
+// and the controller's sampled wall-time cost EWMAs to stderr after its
+// transfer — the adaptive controller's inputs. Cache hits skip the
+// dump: they describe a simulation, and a hit does not simulate.
 //
 // -cache-dir enables the content-addressed result cache: each design
 // point's measurement is keyed on (config fingerprint, direction, size,
 // code version) and served from disk when already computed, so warm
-// reruns print byte-identical reports without simulating. A hit/miss
-// summary goes to stderr; stdout stays identical warm or cold.
+// reruns print byte-identical reports without simulating. The
+// fingerprint excludes the result-neutral execution knobs — -shards,
+// -core-lanes and -workers never change what a simulation computes, so
+// a cache warmed at one lane topology serves every other one (the
+// plain -shards 0 engine keys separately: it may order same-instant
+// event ties differently). A hit/miss summary goes to stderr; stdout
+// stays identical warm or cold.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run — the CPU
+// profile covers the measured transfers, the heap profile is captured
+// at exit after a GC.
 //
 // -cache-gc garbage-collects the -cache-dir directory instead of
 // simulating: entries written under a different code version — which
@@ -114,15 +123,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *f.design == "all" {
-		runAll(runner, dir, *f.mb)
-	} else {
-		design, err := system.ParseDesign(*f.design)
-		if err != nil {
+	var design system.Design
+	if *f.design != "all" {
+		if design, err = system.ParseDesign(*f.design); err != nil {
 			fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
 			os.Exit(2)
 		}
+	}
+	stopProf, err := f.runner.StartProfiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *f.design == "all" {
+		runAll(runner, dir, *f.mb)
+	} else {
 		runOne(runner, design, dir, *f.mb)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
+		os.Exit(1)
 	}
 	if store != nil {
 		fmt.Fprintf(os.Stderr, "pimmu-sim: cache: %v\n", store.Stats())

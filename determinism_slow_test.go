@@ -15,12 +15,19 @@ import (
 	"testing"
 
 	"repro/internal/harness"
-	"repro/internal/sweep"
 )
 
 // staticExperiments render configuration tables without running a
 // simulation; there is nothing to sweep.
 var staticExperiments = map[string]bool{"table1": true, "area": true}
+
+// renderRunner renders one experiment through a fresh Runner.
+func renderRunner(e harness.Experiment, workers, shards, coreLanes int) []byte {
+	r := &harness.Runner{Workers: workers, Shards: shards, CoreLanes: coreLanes}
+	var buf bytes.Buffer
+	r.Run(e, &buf, harness.Quick)
+	return buf.Bytes()
+}
 
 func TestEveryExperimentSerialParallelIdentical(t *testing.T) {
 	for _, e := range harness.All() {
@@ -29,16 +36,9 @@ func TestEveryExperimentSerialParallelIdentical(t *testing.T) {
 		}
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			defer sweep.SetWorkers(0)
-			render := func(workers int) []byte {
-				sweep.SetWorkers(workers)
-				var buf bytes.Buffer
-				e.Run(&buf, harness.Quick)
-				return buf.Bytes()
-			}
-			serial := render(1)
-			parallel := render(8)
-			rerun := render(8)
+			serial := renderRunner(e, 1, 0, 0)
+			parallel := renderRunner(e, 8, 0, 0)
+			rerun := renderRunner(e, 8, 0, 0)
 			if len(serial) == 0 {
 				t.Fatal("experiment rendered nothing")
 			}
@@ -67,19 +67,12 @@ func TestEveryExperimentShardCountIdentical(t *testing.T) {
 		}
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			defer harness.SetShards(0)
-			render := func(shards int) []byte {
-				harness.SetShards(shards)
-				var buf bytes.Buffer
-				e.Run(&buf, harness.Quick)
-				return buf.Bytes()
-			}
-			serial := render(1)
+			serial := renderRunner(e, 0, 1, 0)
 			if len(serial) == 0 {
 				t.Fatal("experiment rendered nothing")
 			}
 			for _, shards := range []int{2, 4} {
-				if got := render(shards); !bytes.Equal(serial, got) {
+				if got := renderRunner(e, 0, shards, 0); !bytes.Equal(serial, got) {
 					t.Errorf("output differs at %d shards\n--- 1 shard ---\n%s--- %d shards ---\n%s",
 						shards, serial, shards, got)
 				}
@@ -101,23 +94,14 @@ func TestEveryExperimentCoreLaneCountIdentical(t *testing.T) {
 		}
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			defer harness.SetShards(0)
-			defer harness.SetCoreLanes(0)
-			render := func(shards, coreLanes int) []byte {
-				harness.SetShards(shards)
-				harness.SetCoreLanes(coreLanes)
-				var buf bytes.Buffer
-				e.Run(&buf, harness.Quick)
-				return buf.Bytes()
-			}
-			serial := render(1, 0)
+			serial := renderRunner(e, 0, 1, 0)
 			if len(serial) == 0 {
 				t.Fatal("experiment rendered nothing")
 			}
 			for _, p := range []struct{ shards, coreLanes int }{
 				{1, 2}, {2, 4}, {4, 8},
 			} {
-				if got := render(p.shards, p.coreLanes); !bytes.Equal(serial, got) {
+				if got := renderRunner(e, 0, p.shards, p.coreLanes); !bytes.Equal(serial, got) {
 					t.Errorf("output differs at shards=%d core-lanes=%d\n--- reference ---\n%s--- got ---\n%s",
 						p.shards, p.coreLanes, serial, got)
 				}

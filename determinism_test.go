@@ -100,11 +100,14 @@ func TestHarnessExperimentParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed experiment")
 	}
-	defer sweep.SetWorkers(0)
+	fig8, ok := harness.ByName("fig8")
+	if !ok {
+		t.Fatal("fig8 experiment not registered")
+	}
 	render := func(workers int) []byte {
-		sweep.SetWorkers(workers)
+		r := &harness.Runner{Workers: workers}
 		var buf bytes.Buffer
-		harness.Fig8(&buf, harness.Quick)
+		r.Run(fig8, &buf, harness.Quick)
 		return buf.Bytes()
 	}
 	serial := render(1)

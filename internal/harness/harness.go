@@ -24,8 +24,6 @@ package harness
 import (
 	"fmt"
 	"io"
-
-	"repro/internal/sweep"
 )
 
 // Scale selects experiment sizing.
@@ -165,50 +163,3 @@ func gb(v float64) string { return fmt.Sprintf("%.2f", v/1e9) }
 
 // ratio formats a multiplier.
 func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
-
-// testRunner backs the deprecated package-level entry points below. It
-// exists only so tests written against the pre-Runner API keep
-// compiling; new code constructs its own Runner.
-var testRunner = &Runner{}
-
-// SetShards selects the event-engine shard count on the package test
-// Runner.
-//
-// Deprecated: test-only shim; thread a *Runner instead.
-func SetShards(n int) { testRunner.Shards = n }
-
-// SetCoreLanes selects the per-core lane count on the package test
-// Runner.
-//
-// Deprecated: test-only shim; thread a *Runner instead.
-func SetCoreLanes(n int) { testRunner.CoreLanes = n }
-
-// SetCache installs (or, with nil, removes) the result cache on the
-// package test Runner.
-//
-// Deprecated: test-only shim; thread a *Runner instead.
-func SetCache(c sweep.Cache) { testRunner.Cache = c }
-
-// Run renders the experiment through the package test Runner.
-//
-// Deprecated: test-only shim; call (*Runner).Run instead.
-func (e Experiment) Run(w io.Writer, sc Scale) { testRunner.Run(e, w, sc) }
-
-// Fig8 runs the fig8 experiment through the package test Runner.
-//
-// Deprecated: test-only shim; look the experiment up and use a *Runner.
-func Fig8(w io.Writer, sc Scale) { mustByName("fig8").Run(w, sc) }
-
-// Table1 runs the table1 experiment through the package test Runner.
-//
-// Deprecated: test-only shim; look the experiment up and use a *Runner.
-func Table1(w io.Writer, sc Scale) { mustByName("table1").Run(w, sc) }
-
-// mustByName backs the fixed-name shims.
-func mustByName(name string) Experiment {
-	e, ok := ByName(name)
-	if !ok {
-		panic("harness: unknown experiment " + name)
-	}
-	return e
-}

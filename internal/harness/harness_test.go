@@ -41,10 +41,21 @@ func TestScaleString(t *testing.T) {
 	}
 }
 
-func TestTable1Rendering(t *testing.T) {
+// renderQuick renders one registered experiment at Quick scale through
+// a fresh default Runner.
+func renderQuick(t *testing.T, name string) string {
+	t.Helper()
+	e, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown experiment %q", name)
+	}
 	var buf bytes.Buffer
-	Table1(&buf, Quick)
-	out := buf.String()
+	(&Runner{}).Run(e, &buf, Quick)
+	return buf.String()
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := renderQuick(t, "table1")
 	for _, want := range []string{"512 PIM cores", "DDR4-2400", "FR-FCFS",
 		"16 KB data buffer", "64 KB address buffer", "ChRaBgBkRoCo"} {
 		if !strings.Contains(out, want) {
@@ -54,9 +65,7 @@ func TestTable1Rendering(t *testing.T) {
 }
 
 func TestAreaRendering(t *testing.T) {
-	var buf bytes.Buffer
-	mustByName("area").Run(&buf, Quick)
-	out := buf.String()
+	out := renderQuick(t, "area")
 	if !strings.Contains(out, "0.85 mm^2") || !strings.Contains(out, "0.37%") {
 		t.Errorf("Area output missing paper reference values:\n%s", out)
 	}
@@ -68,9 +77,7 @@ func TestFig8EndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed experiment")
 	}
-	var buf bytes.Buffer
-	Fig8(&buf, Quick)
-	out := buf.String()
+	out := renderQuick(t, "fig8")
 	if !strings.Contains(out, "sequential") || !strings.Contains(out, "strided") {
 		t.Fatalf("Fig8 output malformed:\n%s", out)
 	}
@@ -86,9 +93,7 @@ func TestReplayEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed experiment")
 	}
-	var buf bytes.Buffer
-	mustByName("replay").Run(&buf, Quick)
-	out := buf.String()
+	out := renderQuick(t, "replay")
 	for _, wl := range replayWorkloads() {
 		if !strings.Contains(out, wl.name) {
 			t.Errorf("Replay output missing workload %q:\n%s", wl.name, out)

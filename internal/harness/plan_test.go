@@ -85,7 +85,10 @@ func TestWarmCacheRendersIdentical(t *testing.T) {
 	resultcache.SetCodeVersion("warm-test")
 	defer resultcache.SetCodeVersion("")
 	for _, name := range []string{"fig8", "replay", "loadcurve"} {
-		e := mustByName(name)
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown experiment %q", name)
+		}
 		dir := t.TempDir()
 		store, err := resultcache.Open(dir, resultcache.ReadWrite)
 		if err != nil {

@@ -10,6 +10,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/core"
@@ -165,20 +168,22 @@ func perCore(s *system.System, totalBytes uint64) uint64 {
 // through RegisterRunnerFlags; the per-CLI flag tests assert all three
 // binaries accept exactly these names.
 func RunnerFlagNames() []string {
-	return []string{"workers", "shards", "core-lanes", "lane-stats", "cache-dir", "cache"}
+	return []string{"workers", "shards", "core-lanes", "lane-stats",
+		"cache-dir", "cache", "cpuprofile", "memprofile"}
 }
 
 // RunnerFlags holds the parsed-but-unresolved shared CLI flags; call
 // Runner after FlagSet.Parse to resolve them.
 type RunnerFlags struct {
-	workers             *int
-	shards, coreLanes   *string
-	laneStats           *bool
-	cacheDir, cacheMode *string
+	workers                *int
+	shards, coreLanes      *string
+	laneStats              *bool
+	cacheDir, cacheMode    *string
+	cpuProfile, memProfile *string
 }
 
-// RegisterRunnerFlags registers the lane-topology, worker, lane-stats
-// and result-cache flags shared by pimmu-sim, pimmu-bench and
+// RegisterRunnerFlags registers the lane-topology, worker, lane-stats,
+// result-cache and profiling flags shared by pimmu-sim, pimmu-bench and
 // pimmu-replay on fs, deduplicating what each CLI used to spell out.
 func RegisterRunnerFlags(fs *flag.FlagSet) *RunnerFlags {
 	f := &RunnerFlags{}
@@ -188,7 +193,54 @@ func RegisterRunnerFlags(fs *flag.FlagSet) *RunnerFlags {
 	f.laneStats = fs.Bool("lane-stats", false, "dump per-lane event counters to stderr after each simulated run")
 	f.cacheDir = fs.String("cache-dir", "", "result-cache directory (empty = caching off)")
 	f.cacheMode = fs.String("cache", "rw", "result-cache mode: off, rw, or ro")
+	f.cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	f.memProfile = fs.String("memprofile", "", "write a live-heap profile at exit to this file (go tool pprof)")
 	return f
+}
+
+// StartProfiles starts the profiling requested by -cpuprofile and
+// -memprofile. The returned stop finishes both: it halts the CPU
+// profile, and — after a GC so the numbers describe live memory, not
+// garbage awaiting collection — writes the heap profile. stop is never
+// nil and is a no-op when neither flag was given; call it exactly once,
+// normally deferred around the measured work.
+func (f *RunnerFlags) StartProfiles() (stop func() error, err error) {
+	var cpu *os.File
+	if *f.cpuProfile != "" {
+		cpu, err = os.Create(*f.cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	memPath := *f.memProfile
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		mf, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			mf.Close()
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		if err := mf.Close(); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		return nil
+	}, nil
 }
 
 // CacheDir reports the parsed -cache-dir value (for cache maintenance

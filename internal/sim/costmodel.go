@@ -1,0 +1,143 @@
+// Wall-time cost model for the adaptive window controller.
+//
+// The controller's job is to pick execution-mode knobs — the inline
+// dispatch threshold and the pool's worker target — that minimize real
+// time per simulated event. Event counts alone cannot answer "is
+// dispatching the pool worth it here": that depends on how expensive
+// this workload's handlers are and how much the dispatch fee really
+// costs on this host. So the sharded engine samples wall time on an
+// amortized cadence — one coarse monotonic clock read pair every
+// costSampleInterval windows (and every costSampleInterval serial
+// steps) — and folds the samples into EWMAs the controller consults.
+//
+// The sampling is built to be invisible on the hot path: no
+// allocations (time.Since on a package-level base reads the runtime's
+// monotonic clock and returns an int64), no clock reads at all on
+// 31 of every 32 windows, and no effect on simulation results by
+// construction — the measured times steer only which goroutine runs a
+// window and how many workers are woken, never event order (the
+// determinism tests run the controller across every lane topology).
+package sim
+
+import "time"
+
+// costSampleInterval is the amortized sampling cadence: one wall-clock
+// sample every this many windows (and serial frontier steps). Must be a
+// power of two — the hot path gates on a mask.
+const costSampleInterval = 32
+
+const costSampleMask = costSampleInterval - 1
+
+// wallBase anchors the package's monotonic clock; time.Since against a
+// fixed base compiles to a raw monotonic-clock read with no allocation.
+var wallBase = time.Now()
+
+// wallNanos is the default wall-clock source: monotonic nanoseconds
+// since process start (any fixed origin works — only differences are
+// used).
+func wallNanos() int64 { return int64(time.Since(wallBase)) }
+
+// SetWallClock replaces the sharded engine's wall-clock source — a
+// monotonically non-decreasing nanosecond counter — used by the
+// adaptive controller's cost model. Tests inject a scripted fake so
+// controller decisions are reproducible under CI timing noise;
+// production code never needs this. Passing nil restores the real
+// clock. Timing steers only execution-mode knobs, never event order,
+// so any clock — however wrong — cannot affect simulation results.
+// No-op on a serial engine.
+func (e *Engine) SetWallClock(fn func() int64) {
+	if e.shards == nil {
+		return
+	}
+	if fn == nil {
+		fn = wallNanos
+	}
+	e.shards.wallClock = fn
+}
+
+// costModel holds the controller's measured-wall-time EWMAs. All times
+// are nanoseconds of real (host) time; alpha is 1/8, initialized on the
+// first sample. Zero means "no sample yet" — the controller falls back
+// to the event-count heuristics until both window modes have been
+// observed at least once.
+type costModel struct {
+	pooledNs float64 // wall ns per pool-dispatched (or ad hoc) window
+	pooledEv float64 // events fired per pool-dispatched window
+	inlineNs float64 // wall ns per inline window
+	inlineEv float64 // events fired per inline window
+	windowNs float64 // blended wall ns per window, both modes
+	serialNs float64 // wall ns per lane-local serial-fallback fire
+	crossNs  float64 // wall ns per crossing (frontier) fire
+	anySerNs float64 // blended wall ns per serial frontier fire
+}
+
+// ewma folds v into acc with alpha 1/8, treating zero as uninitialized.
+func ewma(acc *float64, v float64) {
+	if *acc == 0 {
+		*acc = v
+		return
+	}
+	*acc += (v - *acc) / 8
+}
+
+// observeWindow folds one sampled window (mode, wall ns, events fired)
+// into the model.
+func (c *costModel) observeWindow(inline bool, ns int64, events uint64) {
+	v := float64(ns)
+	ewma(&c.windowNs, v)
+	if inline {
+		ewma(&c.inlineNs, v)
+		ewma(&c.inlineEv, float64(events))
+	} else {
+		ewma(&c.pooledNs, v)
+		ewma(&c.pooledEv, float64(events))
+	}
+}
+
+// observeSerial folds one sampled serial frontier fire into the model.
+func (c *costModel) observeSerial(crossing bool, ns int64) {
+	v := float64(ns)
+	ewma(&c.anySerNs, v)
+	if crossing {
+		ewma(&c.crossNs, v)
+	} else {
+		ewma(&c.serialNs, v)
+	}
+}
+
+// perEventInline is the measured wall cost of firing one event on the
+// caller's goroutine (0 until an inline window has been sampled).
+func (c *costModel) perEventInline() float64 {
+	if c.inlineEv < 1 {
+		return 0
+	}
+	return c.inlineNs / c.inlineEv
+}
+
+// perEventPooled is the measured wall cost per event of a dispatched
+// window, dispatch fee included (0 until a pooled window has been
+// sampled).
+func (c *costModel) perEventPooled() float64 {
+	if c.pooledEv < 1 {
+		return 0
+	}
+	return c.pooledNs / c.pooledEv
+}
+
+// dispatchOverhead estimates the fixed wall cost of waking the pool for
+// one window: the measured pooled window time minus what the fired
+// events would have cost at inline speed spread across workers
+// (optimistically assuming perfect speedup — which makes the estimate
+// an upper bound on the fee, the safe direction for sizing down).
+// Returns 0 until both modes have samples.
+func (c *costModel) dispatchOverhead(workers int) float64 {
+	pe := c.perEventInline()
+	if pe == 0 || c.pooledNs == 0 || workers < 1 {
+		return 0
+	}
+	over := c.pooledNs - c.pooledEv*pe/float64(workers)
+	if over < 0 {
+		return 0
+	}
+	return over
+}

@@ -162,6 +162,14 @@ type shardSet struct {
 	tuneInline uint64 // inline windows since the last update
 	tuneSerial uint64 // serialSteps snapshot at the last update
 
+	// Wall-time cost model (see costmodel.go): a coarse monotonic clock
+	// sampled every costSampleInterval windows / serial steps feeds the
+	// EWMAs tune consults. wallClock is swappable for tests
+	// (Engine.SetWallClock); both sampling sites run in serial context
+	// only, so no synchronization is needed.
+	wallClock func() int64
+	cost      costModel
+
 	// Instrumentation (ShardStats).
 	windows         uint64 // parallel windows executed
 	inlineWindows   uint64 // subset executed inline (small-window path)
@@ -196,6 +204,7 @@ func NewSharded(workers int) *Engine {
 		workers:    workers,
 		inlineMax:  inlineMaxInit,
 		poolTarget: workers,
+		wallClock:  wallNanos,
 	}}
 }
 
@@ -460,38 +469,51 @@ func (e *Engine) serialStep(limit clock.Picos) bool {
 	return true
 }
 
-// fireSerial pops and fires one event on the caller's goroutine.
+// fireSerial pops and fires one event on the caller's goroutine. Every
+// costSampleInterval-th fire is wall-clock timed for the cost model
+// (host events and crossings count as crossing time, lane-local
+// fallbacks as serial time).
 func (e *Engine) fireSerial(best *Event, bestLane int) {
-	e.shards.serialSteps++
+	s := e.shards
+	s.serialSteps++
+	sampled := s.serialSteps&costSampleMask == 0
+	var t0 int64
+	if sampled {
+		t0 = s.wallClock()
+	}
+	crossing := true
 	if bestLane == 0 {
 		evHeapPop(&e.heap)
 		e.now = best.at
 		e.fired++
 		best.h.OnEvent(e.now)
-		return
+	} else {
+		l := s.lanes[bestLane-1]
+		evHeapPop(&l.heap)
+		crossing = best.mpos != 0
+		if crossing {
+			mailRemove(&l.mail, best)
+		}
+		l.now = best.at
+		l.serialFired++
+		s.laneSerialFired++
+		e.now = best.at
+		e.fired++
+		if crossing {
+			best.h.OnEvent(e.now)
+		} else {
+			// A lane-local event firing at a degenerate frontier must stamp
+			// exactly as it would inside a window, or worker counts would
+			// disagree on same-instant tie order.
+			l.curXseq = best.xseq
+			l.firingLocal = true
+			best.h.OnEvent(e.now)
+			l.firingLocal = false
+		}
 	}
-	l := e.shards.lanes[bestLane-1]
-	evHeapPop(&l.heap)
-	crossing := best.mpos != 0
-	if crossing {
-		mailRemove(&l.mail, best)
+	if sampled {
+		s.cost.observeSerial(crossing, s.wallClock()-t0)
 	}
-	l.now = best.at
-	l.serialFired++
-	e.shards.laneSerialFired++
-	e.now = best.at
-	e.fired++
-	if !crossing {
-		// A lane-local event firing at a degenerate frontier must stamp
-		// exactly as it would inside a window, or worker counts would
-		// disagree on same-instant tie order.
-		l.curXseq = best.xseq
-		l.firingLocal = true
-		best.h.OnEvent(e.now)
-		l.firingLocal = false
-		return
-	}
-	best.h.OnEvent(e.now)
 }
 
 // shardedStep advances a sharded engine by one serial frontier event or
@@ -589,13 +611,19 @@ func (e *Engine) runWindow(h clock.Picos) {
 	if s.pool == nil && s.runDepth > 0 {
 		s.pool = newWindowPool(s.lanes, workers)
 	}
+	sampled := s.windows&costSampleMask == 0
+	var t0 int64
+	if sampled {
+		t0 = s.wallClock()
+	}
 	s.windows++
 	var before uint64
 	for _, l := range s.active {
 		before += l.fired
 	}
+	inline := s.inlineNext
 	switch {
-	case s.inlineNext:
+	case inline:
 		s.inlineWindows++
 		s.tuneInline++
 		for _, l := range s.active {
@@ -609,6 +637,9 @@ func (e *Engine) runWindow(h clock.Picos) {
 	var after uint64
 	for _, l := range s.active {
 		after += l.fired
+	}
+	if sampled {
+		s.cost.observeWindow(inline, s.wallClock()-t0, after-before)
 	}
 	s.tuneEvents += after - before
 	s.inlineNext = after-before < s.inlineMax*uint64(workers)
@@ -626,25 +657,34 @@ func (e *Engine) runWindow(h clock.Picos) {
 }
 
 // tune is the adaptive window controller, run every tuneInterval windows
-// from the live counters. It adjusts two execution-mode knobs — the
-// inline dispatch threshold and the pool's worker target — neither of
-// which can affect simulation results (window events commute and
-// stamping is execution-mode independent), so the cost model is free to
-// chase wall clock:
+// from the live counters and the wall-time cost model (costmodel.go).
+// It adjusts two execution-mode knobs — the inline dispatch threshold
+// and the pool's worker target — neither of which can affect simulation
+// results (window events commute and stamping is execution-mode
+// independent), so the cost model is free to chase wall clock:
 //
-//   - inline-window ratio: when nearly every window ran inline the
-//     threshold is too low to ever dispatch the pool profitably — double
-//     it so the few large windows that do appear still go parallel; when
-//     nearly none did, halve it so small lockstep windows stop paying
-//     the dispatch fee.
-//   - events/window vs the threshold: the worker target is how many
-//     goroutines an average window can feed past the inline threshold
-//     each, quantized down to a power of two (hysteresis: pool rebuilds
-//     allocate, so the target must not flap between neighboring sizes).
-//   - serial-fallback rate and mailbox depth: when frontier fires
-//     outnumber window events, or crossings are piling up deeper than
-//     the active lanes can clear, upcoming windows will stay small —
-//     bias the target down a notch before growing the pool into them.
+//   - inline threshold: once both window modes have wall-time samples,
+//     compare the measured ns/event of dispatched windows against
+//     inline windows — dispatched events costing more real time each
+//     means the dispatch fee is not amortizing at the current cut, so
+//     double the threshold; dispatched events clearly cheaper (beyond a
+//     7/8 hysteresis band) means profitable windows are being kept
+//     inline, so halve it. Cold start — before both modes have samples
+//     — falls back to the inline-window ratio: nearly-all-inline
+//     intervals double the threshold, nearly-none halve it.
+//   - worker target: how many workers an average window can pay for.
+//     Measured, that is the window's inline-speed work (events/window x
+//     inline ns/event) divided by the measured dispatch fee
+//     (dispatchOverhead); cold start divides events/window by the
+//     inline threshold as before. Quantized down to a power of two
+//     (hysteresis: pool rebuilds allocate, so the target must not flap
+//     between neighboring sizes).
+//   - serial-fallback pressure and mailbox depth: when the interval's
+//     wall time went mostly to serial frontier fires (measured when
+//     sampled, event counts otherwise), or crossings are piling up
+//     deeper than the active lanes can clear, upcoming windows will
+//     stay small — bias the target down a notch before growing the
+//     pool into them.
 //
 // A target change parks the current pool; the next window lazily builds
 // one at the new size.
@@ -658,15 +698,36 @@ func (s *shardSet) tune() {
 	s.tuneEvents = 0
 	s.tuneSerial = s.serialSteps
 
+	cm := &s.cost
+	peInline, pePooled := cm.perEventInline(), cm.perEventPooled()
 	switch {
+	case peInline > 0 && pePooled > 0:
+		switch {
+		case pePooled > peInline && s.inlineMax < inlineMaxMax:
+			s.inlineMax *= 2
+		case pePooled*8 < peInline*7 && s.inlineMax > inlineMaxMin:
+			s.inlineMax /= 2
+		}
 	case inline*8 > dw*7 && s.inlineMax < inlineMaxMax:
 		s.inlineMax *= 2
 	case inline*8 < dw && s.inlineMax > inlineMaxMin:
 		s.inlineMax /= 2
 	}
 
-	target := int(ev / dw / s.inlineMax)
-	if serial > ev {
+	var target int
+	if fee := cm.dispatchOverhead(s.poolTarget); fee > 0 && peInline > 0 && dw > 0 {
+		work := float64(ev) / float64(dw) * peInline
+		target = int(work / fee)
+	} else {
+		target = int(ev / dw / s.inlineMax)
+	}
+	serialWall := float64(serial) * cm.anySerNs
+	windowWall := float64(dw) * cm.windowNs
+	if windowWall > 0 {
+		if serialWall > windowWall {
+			target /= 2
+		}
+	} else if serial > ev {
 		target /= 2
 	}
 	mailDepth := 0

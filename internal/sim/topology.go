@@ -192,6 +192,15 @@ type ShardStats struct {
 	// construction defaults and retune from the live counters.
 	InlineMax  uint64
 	PoolTarget int
+	// WindowNanos, SerialNanos and CrossingNanos are the wall-time cost
+	// model's EWMAs (costmodel.go): real nanoseconds per window (both
+	// execution modes blended), per lane-local serial-fallback fire, and
+	// per crossing frontier fire, sampled on an amortized cadence. Zero
+	// until the matching path has been sampled. Diagnostics only — they
+	// steer the controller, never the simulation.
+	WindowNanos   float64
+	SerialNanos   float64
+	CrossingNanos float64
 	// HostFired/HostPending describe the host lane (lane 0).
 	HostFired   uint64
 	HostPending int
@@ -211,6 +220,9 @@ func (e *Engine) ShardStats() ShardStats {
 		SerialSteps:   s.serialSteps,
 		InlineMax:     s.inlineMax,
 		PoolTarget:    s.poolTarget,
+		WindowNanos:   s.cost.windowNs,
+		SerialNanos:   s.cost.serialNs,
+		CrossingNanos: s.cost.crossNs,
 		HostFired:     e.fired - s.laneSerialFired,
 		HostPending:   len(e.heap),
 	}
@@ -239,8 +251,9 @@ func (e *Engine) ShardStats() ShardStats {
 // controller's accumulators — so an engine reused across Run calls
 // (the harness pattern) attributes each run's activity to that run
 // alone. Queue state (scheduled events, mailboxes, clocks) and the
-// controller's learned settings (InlineMax, PoolTarget) are kept: the
-// next run starts tuned, not from scratch. Call from host context, like
+// controller's learned settings (InlineMax, PoolTarget and the
+// wall-time cost EWMAs) are kept: the next run starts tuned, not from
+// scratch. Call from host context, like
 // ShardStats; a plain engine only resets its fired count.
 func (e *Engine) ResetStats() {
 	e.fired = 0
@@ -272,6 +285,8 @@ func (st ShardStats) String() string {
 	}
 	out := fmt.Sprintf("workers=%d (pool target %d) windows=%d (inline %d, threshold %d) serial-steps=%d host fired=%d pending=%d\n",
 		st.Workers, st.PoolTarget, st.Windows, st.InlineWindows, st.InlineMax, st.SerialSteps, st.HostFired, st.HostPending)
+	out += fmt.Sprintf("  cost: window=%.0fns serial=%.0fns crossing=%.0fns (sampled wall-time EWMAs; 0 = unsampled)\n",
+		st.WindowNanos, st.SerialNanos, st.CrossingNanos)
 	for _, l := range st.Lanes {
 		out += fmt.Sprintf("  %-10s lookahead=%-12v fired=%d (window %d / serial %d) windows=%d mailbox=%d peak=%d\n",
 			l.Name, l.Lookahead, l.Fired, l.WindowFired, l.SerialFired, l.Windows, l.Mailbox, l.MailboxPeak)

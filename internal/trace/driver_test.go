@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/clock"
@@ -244,6 +245,37 @@ func TestDriverQueueServiceSplit(t *testing.T) {
 	if res.Retries == 0 || res.MaxQueued == 0 {
 		t.Errorf("saturated run reported no pressure: retries=%d maxQueued=%d",
 			res.Retries, res.MaxQueued)
+	}
+}
+
+// TestDriverMD1QueueingDelay checks the driver's queueing-delay
+// accounting against queueing theory's closed form. Poisson arrivals
+// into a single server (MaxInFlight=1, port capacity 1) with a fixed
+// service time s form an M/D/1 queue, whose mean waiting time is
+// Pollaczek–Khinchine's W_q = rho*s/(2*(1-rho)) at utilization
+// rho = s/MeanGap. A driver whose queue delay drifted from
+// arrival-to-issue time — or an arrival schedule whose gaps stopped
+// being exponential — lands far outside the tolerance.
+func TestDriverMD1QueueingDelay(t *testing.T) {
+	const s = 4 * clock.Nanosecond
+	const arrivals = 20000
+	recs := streamRecs(64)
+	for _, rho := range []float64{0.2, 0.5} {
+		cfg := DefaultDriverConfig()
+		cfg.Process = ProcessPoisson
+		cfg.MeanGap = clock.Picos(float64(s) / rho)
+		cfg.Duration = cfg.MeanGap * arrivals
+		cfg.MaxInFlight = 1
+		res, _ := runDriver(t, recs, cfg, s, 1)
+		if res.Issued < arrivals*8/10 {
+			t.Fatalf("rho=%.1f: only %d arrivals issued, want about %d", rho, res.Issued, arrivals)
+		}
+		want := rho * float64(s) / (2 * (1 - rho))
+		got := float64(res.QueueSum) / float64(res.Issued)
+		if diff := math.Abs(got-want) / want; diff > 0.15 {
+			t.Errorf("rho=%.1f: mean queueing delay %.0f ps, M/D/1 predicts %.0f ps (%.0f%% off)",
+				rho, got, want, 100*diff)
+		}
 	}
 }
 

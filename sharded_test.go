@@ -211,13 +211,14 @@ func TestShardedExperimentOutputIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment render in -short mode")
 	}
+	fig8, ok := harness.ByName("fig8")
+	if !ok {
+		t.Fatal("fig8 experiment not registered")
+	}
 	render := func(shards, coreLanes int) string {
-		harness.SetShards(shards)
-		harness.SetCoreLanes(coreLanes)
-		defer harness.SetShards(0)
-		defer harness.SetCoreLanes(0)
+		r := &harness.Runner{Shards: shards, CoreLanes: coreLanes}
 		var b bytes.Buffer
-		harness.Fig8(&b, harness.Quick)
+		r.Run(fig8, &b, harness.Quick)
 		return b.String()
 	}
 	want := render(1, 0)
