@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test test-slow bench bench-compare profile
+.PHONY: check fmt vet lint build test test-slow bench bench-compare profile serve serve-smoke
 
 # The tier-1 gate: formatting, static checks, build, tests.
 check: fmt lint build test
@@ -13,8 +13,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Static checks: go vet plus the harness layering rule (only the
-# compute phase may import internal/system; see cmd/pimmu-lint).
+# Static checks: go vet plus the import layering rules — the harness
+# compute-phase rule, serve's no-internal/system rule, and serve/api's
+# purity rule; see cmd/pimmu-lint.
 lint: vet
 	$(GO) run ./cmd/pimmu-lint
 
@@ -72,3 +73,17 @@ profile:
 	$(GO) run ./cmd/pimmu-bench $(PROFILE_FLAGS) \
 		-cpuprofile cpu.pprof -memprofile mem.pprof $(PROFILE_EXPERIMENT)
 	@echo "wrote cpu.pprof and mem.pprof"
+
+# Run the sweep server locally (override SERVE_FLAGS to change the
+# address, worker bounds, or cache directory; see cmd/pimmu-serve).
+SERVE_FLAGS ?= -addr localhost:8080
+
+serve:
+	$(GO) run ./cmd/pimmu-serve $(SERVE_FLAGS)
+
+# Boot the server on an ephemeral port and drive one quick job through
+# the real HTTP surface — submit, event stream, result fetch — as a
+# self-test. fig8 actually simulates, so the smoke exercises progress
+# events, the worker pool, and the structured-result path end to end.
+serve-smoke:
+	$(GO) run ./cmd/pimmu-serve -smoke fig8

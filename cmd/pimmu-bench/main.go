@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	pimmu-bench [-full] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] <experiment>|all|list
+//	pimmu-bench [-full] [-format text|json] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] <experiment>|all|list
 //
 // Experiments: table1 fig4 fig6 fig8 fig13a fig13b fig14 fig15a fig15b
 // fig16 area headline. Quick sizes are the default; -full uses the
@@ -39,9 +39,16 @@
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (see
 // `make profile` for the canonical invocation).
+//
+// -format json replaces the rendered tables with one serve/api
+// ExperimentResult per experiment (NDJSON on stdout): the structured
+// per-design-point results plus the text render as a field — the same
+// payload pimmu-serve returns, so anything consuming the server's API
+// consumes this CLI unchanged. Timing footers move to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -84,6 +91,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimmu-bench: warning: %s\n", w)
 	}
 	cacheStore = store
+	format, err := f.runner.Format()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -114,7 +126,10 @@ func main() {
 		os.Exit(2)
 	}
 	for _, e := range exps {
-		runOne(runner, e, sc)
+		if err := runOne(runner, e, sc, format); err != nil {
+			fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "pimmu-bench: %v\n", err)
@@ -122,23 +137,46 @@ func main() {
 	}
 }
 
-func runOne(r *harness.Runner, e harness.Experiment, sc harness.Scale) {
-	fmt.Printf("==== %s — %s (%s mode) ====\n", e.Name, e.Brief, sc)
+// runOne computes one experiment through the structured-result path and
+// prints it in the selected format: text writes the header, the
+// rendered table (the Text field of the structured result — the same
+// bytes the pre-structured render produced), and the timing footer;
+// json writes one serve/api ExperimentResult as an NDJSON line to
+// stdout, with the timing footer on stderr.
+func runOne(r *harness.Runner, e harness.Experiment, sc harness.Scale, format string) error {
 	start := time.Now()
 	before := cacheStore.Stats()
-	r.Run(e, os.Stdout, sc)
+	if format == "json" {
+		res, err := harness.ComputeResult(r, e, sc)
+		if err != nil {
+			return err
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pimmu-bench: %s done in %v; cache: %v\n",
+			e.Name, time.Since(start).Round(time.Millisecond), cacheStore.Stats().Sub(before))
+		return nil
+	}
+	fmt.Printf("==== %s — %s (%s mode) ====\n", e.Name, e.Brief, sc)
+	res, err := harness.ComputeResult(r, e, sc)
+	if err != nil {
+		return err
+	}
+	os.Stdout.WriteString(res.Text)
 	// The footer is timing/diagnostic output, outside the deterministic
 	// experiment artifact — the tables above are byte-identical whether
 	// the numbers below say "all hits" or "all misses".
 	if cacheStore != nil {
 		fmt.Printf("---- %s done in %v; cache: %v ----\n\n",
 			e.Name, time.Since(start).Round(time.Millisecond), cacheStore.Stats().Sub(before))
-		return
+		return nil
 	}
 	fmt.Printf("---- %s done in %v ----\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] <experiment>|all|list\n")
+	fmt.Fprintf(os.Stderr, "usage: pimmu-bench [-full] [-format text|json] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] <experiment>|all|list\n")
 	flag.PrintDefaults()
 }

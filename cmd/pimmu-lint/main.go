@@ -1,17 +1,31 @@
-// Command pimmu-lint enforces the harness layering rule behind the
-// plan/compute/render split: inside internal/harness, only the compute
-// phase (runner.go and compute*.go) may import repro/internal/system.
-// Plans are pure enumeration and renders are pure text — a renderer
-// that can reach a live machine could silently re-simulate, breaking
-// the warm-cache-equals-cold-compute contract the tier-1 suite checks
-// byte for byte.
+// Command pimmu-lint enforces the repository's import layering rules —
+// the boundaries the type system cannot express:
+//
+//   - internal/harness: only the compute phase (runner.go and
+//     compute*.go) may import repro/internal/system. Plans are pure
+//     enumeration and renders are pure text — a renderer that can reach
+//     a live machine could silently re-simulate, breaking the
+//     warm-cache-equals-cold-compute contract the tier-1 suite checks
+//     byte for byte.
+//
+//   - internal/serve: never imports repro/internal/system. The server
+//     reaches simulation only through the harness Runner, so every
+//     serving path inherits the plan/compute/render split and its
+//     determinism contract instead of poking machines directly.
+//
+//   - internal/serve/api: imports nothing from this repository at all.
+//     The wire contract stays pure so CLIs, the server, and future
+//     distributed-sweep workers can all speak it without dragging in
+//     the simulator.
 //
 // Usage:
 //
 //	pimmu-lint [DIR]
 //
-// DIR defaults to internal/harness. Violations print one per line and
-// exit non-zero; `make lint` runs this after go vet.
+// With no argument every rule runs against its own directory; passing
+// DIR runs the harness compute-phase rule against that directory
+// instead. Violations print one per line and exit non-zero; `make
+// lint` runs this after go vet.
 package main
 
 import (
@@ -24,27 +38,70 @@ import (
 	"strings"
 )
 
-// systemImport is the package the rule guards.
+// systemImport is the package the harness and serve rules guard.
 const systemImport = "repro/internal/system"
 
+// repoImportPrefix marks any import from this repository — the api
+// purity rule bans the whole namespace.
+const repoImportPrefix = "repro/"
+
+// rule is one import-layering constraint: in dir, every non-test file
+// outside allowed must not import anything banned.
+type rule struct {
+	dir     string
+	allowed func(name string) bool
+	banned  func(importPath string) bool
+	explain string // one line appended to the violation count
+}
+
+// rules are the repository's layering constraints, checked in order.
+var rules = []rule{
+	{
+		dir:     "internal/harness",
+		allowed: computeAllowed,
+		banned:  func(p string) bool { return p == systemImport },
+		explain: "only runner.go and compute*.go may import " + systemImport,
+	},
+	{
+		dir:     "internal/serve",
+		allowed: func(name string) bool { return strings.HasSuffix(name, "_test.go") },
+		banned:  func(p string) bool { return p == systemImport },
+		explain: "internal/serve reaches simulation only through the harness Runner, never " + systemImport,
+	},
+	{
+		dir:     "internal/serve/api",
+		allowed: func(name string) bool { return false },
+		banned:  func(p string) bool { return strings.HasPrefix(p, repoImportPrefix) },
+		explain: "internal/serve/api is the pure wire contract: no repro/ imports at all",
+	},
+}
+
 func main() {
-	dir := "internal/harness"
+	checks := rules
 	if len(os.Args) > 1 {
-		dir = os.Args[1]
+		checks = []rule{{
+			dir:     os.Args[1],
+			allowed: computeAllowed,
+			banned:  rules[0].banned,
+			explain: rules[0].explain,
+		}}
 	}
-	bad, err := violations(dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimmu-lint: %v\n", err)
-		os.Exit(2)
+	exit := 0
+	for _, r := range checks {
+		bad, err := violations(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimmu-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		if len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "pimmu-lint: %d violation(s): %s\n", len(bad), r.explain)
+			exit = 1
+		}
 	}
-	for _, v := range bad {
-		fmt.Fprintln(os.Stderr, v)
-	}
-	if len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "pimmu-lint: %d violation(s): only runner.go and compute*.go may import %s\n",
-			len(bad), systemImport)
-		os.Exit(1)
-	}
+	os.Exit(exit)
 }
 
 // computeAllowed reports whether a harness file may import the system
@@ -57,11 +114,11 @@ func computeAllowed(name string) bool {
 	return name == "runner.go" || strings.HasPrefix(name, "compute")
 }
 
-// violations scans dir's Go files (imports only, no type checking) and
-// reports every file outside the compute phase that imports the system
-// package.
-func violations(dir string) ([]string, error) {
-	files, err := os.ReadDir(dir)
+// violations scans the rule's directory (imports only, no type
+// checking) and reports every file outside the allowed set with a
+// banned import.
+func violations(r rule) ([]string, error) {
+	files, err := os.ReadDir(r.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -69,10 +126,10 @@ func violations(dir string) ([]string, error) {
 	fset := token.NewFileSet()
 	for _, f := range files {
 		name := f.Name()
-		if f.IsDir() || !strings.HasSuffix(name, ".go") || computeAllowed(name) {
+		if f.IsDir() || !strings.HasSuffix(name, ".go") || r.allowed(name) {
 			continue
 		}
-		path := filepath.Join(dir, name)
+		path := filepath.Join(r.dir, name)
 		parsed, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
 		if err != nil {
 			return nil, err
@@ -82,8 +139,8 @@ func violations(dir string) ([]string, error) {
 			if err != nil {
 				continue
 			}
-			if p == systemImport {
-				bad = append(bad, fmt.Sprintf("%s: imports %s outside the compute phase", path, systemImport))
+			if r.banned(p) {
+				bad = append(bad, fmt.Sprintf("%s: imports %s, which this layer bans", path, p))
 			}
 		}
 	}

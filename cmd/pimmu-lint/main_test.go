@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -23,32 +24,83 @@ func TestComputeAllowed(t *testing.T) {
 	}
 }
 
-// The real harness must satisfy its own layering rule.
-func TestHarnessIsClean(t *testing.T) {
-	bad, err := violations(filepath.Join("..", "..", "internal", "harness"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, v := range bad {
-		t.Error(v)
+// reroot points a rule's directory at the repository root, which is two
+// levels up from this package's test working directory.
+func reroot(r rule) rule {
+	r.dir = filepath.Join("..", "..", r.dir)
+	return r
+}
+
+// The real tree must satisfy every rule it ships.
+func TestRepositoryIsClean(t *testing.T) {
+	for _, r := range rules {
+		bad, err := violations(reroot(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range bad {
+			t.Error(v)
+		}
 	}
 }
 
-func TestViolationDetected(t *testing.T) {
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
 	dir := t.TempDir()
-	write := func(name, src string) {
+	for name, src := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
 			t.Fatal(err)
 		}
 	}
-	write("render.go", "package harness\n\nimport _ \"repro/internal/system\"\n")
-	write("compute.go", "package harness\n\nimport _ \"repro/internal/system\"\n")
-	write("axes.go", "package harness\n\nimport _ \"fmt\"\n")
-	bad, err := violations(dir)
+	return dir
+}
+
+func TestHarnessViolationDetected(t *testing.T) {
+	r := rules[0]
+	r.dir = writeFiles(t, map[string]string{
+		"render.go":  "package harness\n\nimport _ \"repro/internal/system\"\n",
+		"compute.go": "package harness\n\nimport _ \"repro/internal/system\"\n",
+		"axes.go":    "package harness\n\nimport _ \"fmt\"\n",
+	})
+	bad, err := violations(r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(bad) != 1 {
+	if len(bad) != 1 || !strings.Contains(bad[0], "render.go") {
 		t.Fatalf("violations = %v, want exactly the render.go one", bad)
+	}
+}
+
+func TestServeViolationDetected(t *testing.T) {
+	r := rules[1]
+	r.dir = writeFiles(t, map[string]string{
+		"server.go":     "package serve\n\nimport _ \"repro/internal/system\"\n",
+		"job.go":        "package serve\n\nimport _ \"repro/internal/harness\"\n",
+		"serve_test.go": "package serve\n\nimport _ \"repro/internal/system\"\n",
+	})
+	bad, err := violations(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "server.go") {
+		t.Fatalf("violations = %v, want exactly the server.go one", bad)
+	}
+}
+
+func TestAPIPurityViolationDetected(t *testing.T) {
+	r := rules[2]
+	r.dir = writeFiles(t, map[string]string{
+		"api.go":      "package api\n\nimport _ \"repro/internal/harness\"\n",
+		"api_test.go": "package api\n\nimport _ \"repro/internal/resultcache\"\n",
+		"pure.go":     "package api\n\nimport _ \"encoding/json\"\n",
+	})
+	bad, err := violations(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The purity rule has no test exemption: the contract package must
+	// stay dependency-free even in its tests.
+	if len(bad) != 2 {
+		t.Fatalf("violations = %v, want the api.go and api_test.go ones", bad)
 	}
 }

@@ -6,8 +6,8 @@
 //	pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
 //	pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
 //	pimmu-replay inspect [-n N] FILE
-//	pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] FILE
-//	pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,...] [-n N] [-slo-ns N] [-seed S] [... replay's topology, cache and profile flags]
+//	pimmu-replay replay  [-design D|all] [-format text|json] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] FILE
+//	pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,...] [-n N] [-slo-ns N] [-seed S] [... replay's format, topology, cache and profile flags]
 //
 // record captures every request a transfer presents to the memory port
 // of the chosen design; gen synthesizes one of the built-in application
@@ -47,13 +47,20 @@
 //
 // replay and load also accept -cpuprofile and -memprofile, writing
 // pprof profiles that cover the replayed simulations.
+//
+// replay's and load's -format json replaces the text report with one
+// serve/api ExperimentResult NDJSON line: the structured results plus
+// the text report in the Text field — the same wire shape pimmu-serve
+// returns.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -63,6 +70,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mem"
 	"repro/internal/resultcache"
+	"repro/internal/serve/api"
 	"repro/internal/system"
 	"repro/internal/trace"
 )
@@ -103,8 +111,8 @@ func usage() {
   pimmu-replay record  [-design D] [-kb N] [-dir to|from] [-text] -o FILE
   pimmu-replay gen     [-pattern P] [-n N] [-gap NS] [-seed S] [-text] -o FILE
   pimmu-replay inspect [-n N] FILE
-  pimmu-replay replay  [-design D|all] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] FILE
-  pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,NS,...] [-n N] [-slo-ns N] [-seed S] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE]
+  pimmu-replay replay  [-design D|all] [-format text|json] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] FILE
+  pimmu-replay load    [-process fixed|poisson|burst] [-pattern P] [-gaps NS,NS,...] [-n N] [-slo-ns N] [-seed S] [-format text|json] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-inflight N] [-noncacheable] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE]
 `)
 }
 
@@ -139,6 +147,25 @@ func (f *replayFlags) newRunner() (*harness.Runner, *resultcache.Store, error) {
 		fmt.Fprintf(os.Stderr, "pimmu-replay: warning: %s\n", w)
 	}
 	return runner, store, nil
+}
+
+// emit prints one computed result in the selected -format: text runs
+// render straight to stdout; json wraps the structured results and the
+// render of exactly those results in a serve/api ExperimentResult — the
+// wire shape pimmu-serve returns — as one NDJSON line.
+func emit(format, experiment, op string, results any, render func(io.Writer)) error {
+	if format != "json" {
+		render(os.Stdout)
+		return nil
+	}
+	var text strings.Builder
+	render(&text)
+	res, err := api.NewResult(experiment, "", results, text.String())
+	if err != nil {
+		return err
+	}
+	res.Op = op
+	return json.NewEncoder(os.Stdout).Encode(res)
 }
 
 // cmdRecord runs one transfer with a recorder tapped onto the memory
@@ -265,6 +292,10 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return fmt.Errorf("replay: %w", err)
 	}
+	format, err := f.runner.Format()
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
 	recs, err := trace.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -303,16 +334,21 @@ func cmdReplay(args []string) error {
 	if *designFlag == "all" {
 		designs := system.Designs()
 		results := harness.ComputePlan(runner, plan(designs), run)
-		fmt.Printf("%d records, max %d in flight\n\n", len(recs), cfg.MaxInFlight)
-		fmt.Printf("%-12s %12s %12s %18s %12s %12s\n",
-			"design", "GB/s", "avg (ns)", "p50/p95/p99 (ns)", "retries", "slip")
-		for i, d := range designs {
-			r := results[i]
-			fmt.Printf("%-12v %12.2f %12.0f %18s %12d %12v\n",
-				d, r.Throughput()/1e9, r.AvgLatency().Nanoseconds(),
-				fmt.Sprintf("%.0f/%.0f/%.0f",
-					r.Latency.P50().Nanoseconds(), r.Latency.P95().Nanoseconds(), r.Latency.P99().Nanoseconds()),
-				r.Retries, r.Slip)
+		render := func(w io.Writer) {
+			fmt.Fprintf(w, "%d records, max %d in flight\n\n", len(recs), cfg.MaxInFlight)
+			fmt.Fprintf(w, "%-12s %12s %12s %18s %12s %12s\n",
+				"design", "GB/s", "avg (ns)", "p50/p95/p99 (ns)", "retries", "slip")
+			for i, d := range designs {
+				r := results[i]
+				fmt.Fprintf(w, "%-12v %12.2f %12.0f %18s %12d %12v\n",
+					d, r.Throughput()/1e9, r.AvgLatency().Nanoseconds(),
+					fmt.Sprintf("%.0f/%.0f/%.0f",
+						r.Latency.P50().Nanoseconds(), r.Latency.P95().Nanoseconds(), r.Latency.P99().Nanoseconds()),
+					r.Retries, r.Slip)
+			}
+		}
+		if err := emit(format, "pimmu-replay", "design=all "+op, results, render); err != nil {
+			return err
 		}
 		return stopProf()
 	}
@@ -322,14 +358,19 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	r := harness.ComputePlan(runner, plan([]system.Design{design}), run)[0]
-	fmt.Printf("design     %v\n", design)
-	fmt.Printf("records    %d (%d line requests)\n", len(recs), r.Issued)
-	fmt.Printf("bytes      %d read, %d written\n", r.BytesRead, r.BytesWritten)
-	fmt.Printf("duration   %v\n", r.Duration())
-	fmt.Printf("throughput %.2f GB/s\n", r.Throughput()/1e9)
-	fmt.Printf("latency    %v avg, p50 <= %v, p95 <= %v, p99 <= %v\n",
-		r.AvgLatency(), r.Latency.P50(), r.Latency.P95(), r.Latency.P99())
-	fmt.Printf("pressure   %d retries, %v max slip behind the trace clock\n", r.Retries, r.Slip)
+	render := func(w io.Writer) {
+		fmt.Fprintf(w, "design     %v\n", design)
+		fmt.Fprintf(w, "records    %d (%d line requests)\n", len(recs), r.Issued)
+		fmt.Fprintf(w, "bytes      %d read, %d written\n", r.BytesRead, r.BytesWritten)
+		fmt.Fprintf(w, "duration   %v\n", r.Duration())
+		fmt.Fprintf(w, "throughput %.2f GB/s\n", r.Throughput()/1e9)
+		fmt.Fprintf(w, "latency    %v avg, p50 <= %v, p95 <= %v, p99 <= %v\n",
+			r.AvgLatency(), r.Latency.P50(), r.Latency.P95(), r.Latency.P99())
+		fmt.Fprintf(w, "pressure   %d retries, %v max slip behind the trace clock\n", r.Retries, r.Slip)
+	}
+	if err := emit(format, "pimmu-replay", fmt.Sprintf("design=%v %s", design, op), r, render); err != nil {
+		return err
+	}
 	return stopProf()
 }
 
@@ -351,6 +392,10 @@ func cmdLoad(args []string) error {
 		return fmt.Errorf("load: unexpected arguments %v", fs.Args())
 	}
 	runner, store, err := f.newRunner()
+	if err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	format, err := f.runner.Format()
 	if err != nil {
 		return fmt.Errorf("load: %w", err)
 	}
@@ -407,28 +452,35 @@ func cmdLoad(args []string) error {
 			return loadOn(runner, j, trace.Pattern(*pattern), gcfg, dcfgAt(gaps[pts[i].gi]))
 		})
 
-	fmt.Printf("%s arrivals, %s pattern, %d arrivals/point, max %d in flight\n\n",
-		*process, *pattern, *n, *f.inflight)
-	fmt.Printf("%-16s %24s %24s %16s %16s\n", "offered (GB/s)",
-		"Base p50/p99/p99.9 (ns)", "PIM-MMU p50/p99/p99.9 (ns)",
-		"Base q99 (ns)", "PIM-MMU q99 (ns)")
-	knee := make([]clock.Picos, len(designs))
-	for gi, gap := range gaps {
-		b := results[gi*len(designs)]
-		m := results[gi*len(designs)+1]
-		fmt.Printf("%-16.2f %24s %24s %16.0f %16.0f\n",
-			dcfgAt(gap).OfferedLoad()/1e9,
-			tail999(&b.Total), tail999(&m.Total),
-			b.Queue.P99().Nanoseconds(), m.Queue.P99().Nanoseconds())
-		for di := range designs {
-			r := results[gi*len(designs)+di]
-			if r.Total.P99() <= slo && (knee[di] == 0 || gap < knee[di]) {
-				knee[di] = gap
+	render := func(w io.Writer) {
+		fmt.Fprintf(w, "%s arrivals, %s pattern, %d arrivals/point, max %d in flight\n\n",
+			*process, *pattern, *n, *f.inflight)
+		fmt.Fprintf(w, "%-16s %24s %24s %16s %16s\n", "offered (GB/s)",
+			"Base p50/p99/p99.9 (ns)", "PIM-MMU p50/p99/p99.9 (ns)",
+			"Base q99 (ns)", "PIM-MMU q99 (ns)")
+		knee := make([]clock.Picos, len(designs))
+		for gi, gap := range gaps {
+			b := results[gi*len(designs)]
+			m := results[gi*len(designs)+1]
+			fmt.Fprintf(w, "%-16.2f %24s %24s %16.0f %16.0f\n",
+				dcfgAt(gap).OfferedLoad()/1e9,
+				tail999(&b.Total), tail999(&m.Total),
+				b.Queue.P99().Nanoseconds(), m.Queue.P99().Nanoseconds())
+			for di := range designs {
+				r := results[gi*len(designs)+di]
+				if r.Total.P99() <= slo && (knee[di] == 0 || gap < knee[di]) {
+					knee[di] = gap
+				}
 			}
 		}
+		fmt.Fprintf(w, "\nmax load @ p99 <= %v: Base %s, PIM-MMU %s\n",
+			slo, kneeGBs(knee[0]), kneeGBs(knee[1]))
 	}
-	fmt.Printf("\nmax load @ p99 <= %v: Base %s, PIM-MMU %s\n",
-		slo, kneeGBs(knee[0]), kneeGBs(knee[1]))
+	op := fmt.Sprintf("process=%s pattern=%s n=%d slo-ns=%d gaps=%s seed=%d",
+		*process, *pattern, *n, *sloNS, *gapsFlag, *seed)
+	if err := emit(format, "pimmu-load", op, results, render); err != nil {
+		return err
+	}
 	return stopProf()
 }
 

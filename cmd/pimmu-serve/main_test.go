@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// The serve binary's flag surface is its operational contract — a
+// rename breaks every deployment script, so pin the names.
+func TestServeFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("pimmu-serve", flag.ContinueOnError)
+	registerFlags(fs)
+	for _, name := range []string{"addr", "jobs", "queue", "workers", "cache-dir", "cache", "smoke"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestServeFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("pimmu-serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := registerFlags(fs)
+	err := fs.Parse([]string{"-addr", "127.0.0.1:0", "-jobs", "4", "-queue", "16",
+		"-workers", "2", "-cache", "ro", "-smoke", "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *f.addr != "127.0.0.1:0" || *f.jobs != 4 || *f.queue != 16 ||
+		*f.workers != 2 || *f.cache != "ro" || *f.smoke != "table1" {
+		t.Errorf("flags not parsed: %+v", f)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] [-list] [-cache-gc]
+//	pimmu-sim [-design base|base+d|base+d+h|pim-mmu|all] [-mb N] [-dir to|from] [-format text|json] [-workers N] [-shards N|auto] [-core-lanes N|auto] [-lane-stats] [-cache-dir DIR] [-cache off|rw|ro] [-cpuprofile FILE] [-memprofile FILE] [-list] [-cache-gc]
 //
 // -workers parallelizes across independent design-point machines;
 // -shards parallelizes inside each machine, running its lane topology —
@@ -45,17 +45,26 @@
 //
 // -list prints every harness experiment name with its one-line
 // description (the registry pimmu-bench serves).
+//
+// -format json replaces the text report with one serve/api
+// ExperimentResult NDJSON line: the measurements as structured data
+// plus the text report in the Text field — the same wire shape
+// pimmu-serve returns.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/harness"
 	"repro/internal/resultcache"
+	"repro/internal/serve/api"
 	"repro/internal/system"
 )
 
@@ -136,10 +145,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	format, err := f.runner.Format()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
+		os.Exit(2)
+	}
+	designs := []system.Design{design}
 	if *f.design == "all" {
-		runAll(runner, dir, *f.mb)
+		designs = system.Designs()
+	}
+	ms := measureCached(runner, designs, dir, *f.mb)
+	var render func(w io.Writer)
+	if *f.design == "all" {
+		render = func(w io.Writer) { renderAll(w, designs, ms, dir, *f.mb) }
 	} else {
-		runOne(runner, design, dir, *f.mb)
+		render = func(w io.Writer) { renderOne(w, design, dir, ms[0]) }
+	}
+	if format == "json" {
+		var text strings.Builder
+		render(&text)
+		res, err := api.NewResult("pimmu-sim", "", ms, text.String())
+		if err == nil {
+			res.Op = fmt.Sprintf("xfer design=%s dir=%v mb=%d", *f.design, dir, *f.mb)
+			err = json.NewEncoder(os.Stdout).Encode(res)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		render(os.Stdout)
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "pimmu-sim: %v\n", err)
@@ -174,18 +209,16 @@ func measureCached(r *harness.Runner, designs []system.Design, dir core.Directio
 	})
 }
 
-// runAll sweeps the four design points in parallel and prints the
-// Fig. 15-style comparison.
-func runAll(r *harness.Runner, dir core.Direction, mb uint64) {
-	designs := system.Designs()
-	ms := measureCached(r, designs, dir, mb)
-	fmt.Printf("direction   %v, %d MiB per design point\n\n", dir, mb)
-	fmt.Printf("%-12s %12s %12s %12s %12s\n",
+// renderAll prints the Fig. 15-style comparison of the four design
+// points' measurements.
+func renderAll(w io.Writer, designs []system.Design, ms []system.TransferMeasurement, dir core.Direction, mb uint64) {
+	fmt.Fprintf(w, "direction   %v, %d MiB per design point\n\n", dir, mb)
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s\n",
 		"design", "GB/s", "vs Base", "energy (J)", "MB/J")
 	base := ms[0]
 	for i, d := range designs {
 		m := ms[i]
-		fmt.Printf("%-12v %12.2f %11.2fx %12.4f %12.1f\n",
+		fmt.Fprintf(w, "%-12v %12.2f %11.2fx %12.4f %12.1f\n",
 			d, m.Res.Throughput()/1e9,
 			m.Res.Throughput()/base.Res.Throughput(),
 			m.Energy.Total(),
@@ -193,23 +226,22 @@ func runAll(r *harness.Runner, dir core.Direction, mb uint64) {
 	}
 }
 
-// runOne prints the detailed single-design report.
-func runOne(r *harness.Runner, design system.Design, dir core.Direction, mb uint64) {
-	m := measureCached(r, []system.Design{design}, dir, mb)[0]
+// renderOne prints the detailed single-design report.
+func renderOne(w io.Writer, design system.Design, dir core.Direction, m system.TransferMeasurement) {
 	res, b := m.Res, m.Energy
 
-	fmt.Printf("design      %v\n", design)
-	fmt.Printf("direction   %v\n", dir)
-	fmt.Printf("bytes       %d (%d MiB)\n", res.Bytes, res.Bytes>>20)
-	fmt.Printf("duration    %v\n", res.Duration)
-	fmt.Printf("throughput  %.2f GB/s\n", res.Throughput()/1e9)
-	fmt.Printf("energy      %.4f J (%.0f%% static)\n", b.Total(), 100*b.Static()/b.Total())
-	fmt.Printf("efficiency  %.1f MB/J\n", energy.EfficiencyBytesPerJoule(res.Bytes, b)/1e6)
+	fmt.Fprintf(w, "design      %v\n", design)
+	fmt.Fprintf(w, "direction   %v\n", dir)
+	fmt.Fprintf(w, "bytes       %d (%d MiB)\n", res.Bytes, res.Bytes>>20)
+	fmt.Fprintf(w, "duration    %v\n", res.Duration)
+	fmt.Fprintf(w, "throughput  %.2f GB/s\n", res.Throughput()/1e9)
+	fmt.Fprintf(w, "energy      %.4f J (%.0f%% static)\n", b.Total(), 100*b.Static()/b.Total())
+	fmt.Fprintf(w, "efficiency  %.1f MB/J\n", energy.EfficiencyBytesPerJoule(res.Bytes, b)/1e6)
 
-	fmt.Printf("DRAM        rd %d MiB, wr %d MiB\n", m.DRAMRead>>20, m.DRAMWritten>>20)
-	fmt.Printf("PIM         rd %d MiB, wr %d MiB\n", m.PIMRead>>20, m.PIMWritten>>20)
+	fmt.Fprintf(w, "DRAM        rd %d MiB, wr %d MiB\n", m.DRAMRead>>20, m.DRAMWritten>>20)
+	fmt.Fprintf(w, "PIM         rd %d MiB, wr %d MiB\n", m.PIMRead>>20, m.PIMWritten>>20)
 	for i, c := range m.PIMCh {
-		fmt.Printf("  pim ch%d   wr %6d KiB  row hits %.1f%%\n",
+		fmt.Fprintf(w, "  pim ch%d   wr %6d KiB  row hits %.1f%%\n",
 			i, c.BytesWritten>>10, 100*c.RowHitRate)
 	}
 }

@@ -164,12 +164,35 @@ func perCore(s *system.System, totalBytes uint64) uint64 {
 	return per
 }
 
+// ResolveTopology parses and normalizes lane-topology selections given
+// in CLI flag syntax (a count or "auto"; empty selects the default
+// serial engine) into concrete Runner values. It exists so callers
+// outside the compute layer — the serve front end in particular — can
+// resolve request topology without importing internal/system.
+func ResolveTopology(shards, coreLanes string) (sh, cl int, warns []string, err error) {
+	if shards == "" {
+		shards = "0"
+	}
+	if coreLanes == "" {
+		coreLanes = "0"
+	}
+	shardsN, err := system.ParseLaneFlag(shards)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("shards: %w", err)
+	}
+	coreLanesN, err := system.ParseLaneFlag(coreLanes)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("core-lanes: %w", err)
+	}
+	return system.NormalizeLaneFlags(shardsN, coreLanesN)
+}
+
 // RunnerFlagNames is the canonical shared flag set every CLI registers
 // through RegisterRunnerFlags; the per-CLI flag tests assert all three
 // binaries accept exactly these names.
 func RunnerFlagNames() []string {
 	return []string{"workers", "shards", "core-lanes", "lane-stats",
-		"cache-dir", "cache", "cpuprofile", "memprofile"}
+		"cache-dir", "cache", "cpuprofile", "memprofile", "format"}
 }
 
 // RunnerFlags holds the parsed-but-unresolved shared CLI flags; call
@@ -180,6 +203,7 @@ type RunnerFlags struct {
 	laneStats              *bool
 	cacheDir, cacheMode    *string
 	cpuProfile, memProfile *string
+	format                 *string
 }
 
 // RegisterRunnerFlags registers the lane-topology, worker, lane-stats,
@@ -195,7 +219,17 @@ func RegisterRunnerFlags(fs *flag.FlagSet) *RunnerFlags {
 	f.cacheMode = fs.String("cache", "rw", "result-cache mode: off, rw, or ro")
 	f.cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	f.memProfile = fs.String("memprofile", "", "write a live-heap profile at exit to this file (go tool pprof)")
+	f.format = fs.String("format", "text", "result format: text (the rendered tables) or json (one serve/api ExperimentResult per experiment, NDJSON)")
 	return f
+}
+
+// Format resolves the parsed -format flag: "text" or "json".
+func (f *RunnerFlags) Format() (string, error) {
+	switch *f.format {
+	case "text", "json":
+		return *f.format, nil
+	}
+	return "", fmt.Errorf("-format: %q (want %q or %q)", *f.format, "text", "json")
 }
 
 // StartProfiles starts the profiling requested by -cpuprofile and

@@ -1,0 +1,45 @@
+// Structured result export: the bridge between the experiment phases
+// and the versioned serve/api wire types. The text render becomes one
+// field of the structured result rather than the only artifact, so the
+// same payload serves HTTP responses, -format json on the CLIs, and
+// cached replays. This file must not import internal/system — it only
+// repackages compute results.
+
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/serve/api"
+)
+
+// ParseScale maps the wire scale string to a Scale. The empty string
+// selects Quick, mirroring the CLIs' default.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "", "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return Quick, fmt.Errorf("unknown scale %q (want %q or %q)", s, "quick", "full")
+}
+
+// BuildResult packages an experiment's computed results as the
+// canonical structured form: the machine-readable result set plus the
+// deterministic text render of exactly those results. Because Render is
+// a pure function of (scale, results), the Text field is byte-identical
+// to what the text CLIs print for the same results.
+func BuildResult(e Experiment, sc Scale, results any) (api.ExperimentResult, error) {
+	var buf strings.Builder
+	e.Render(&buf, sc, results)
+	return api.NewResult(e.Name, sc.String(), results, buf.String())
+}
+
+// ComputeResult runs an experiment's compute phase through the runner
+// and packages the results. This is the one call the server and the
+// -format json CLI paths share.
+func ComputeResult(r *Runner, e Experiment, sc Scale) (api.ExperimentResult, error) {
+	return BuildResult(e, sc, e.Compute(r, sc))
+}

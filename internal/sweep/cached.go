@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"encoding/gob"
+	"sync"
 )
 
 // Cache is the result store MapCached consults: a content-addressed
@@ -32,6 +33,12 @@ type Cache interface {
 // for example after R's shape changed — counts as a miss and is
 // recomputed and overwritten. key(i) is only evaluated when a cache is
 // installed; with c == nil MapCached is exactly Map.
+//
+// Missed keys compute at most once at a time per process: duplicate keys
+// within one call share a single computation, and concurrent calls that
+// miss the same key single-flight on it — later arrivals block on the
+// first computation's published result instead of running the job again
+// (see computeShared).
 func MapCached[R any](c Cache, n int, key func(i int) string, job func(i int) R) []R {
 	return MapCachedN(c, n, 0, key, job)
 }
@@ -63,20 +70,102 @@ func MapCachedN[R any](c Cache, n, workers int, key func(i int) string, job func
 	if len(miss) == 0 {
 		return out
 	}
+	// Duplicate keys inside one sweep compute once: the first index
+	// holding a key leads, later ones share its result. The leaders then
+	// run under the process-wide single-flight table, which extends the
+	// same one-compute guarantee across concurrent sweeps.
+	leaderAt := make(map[string]int, len(miss))
+	var uniq []int
+	type follower struct{ index, leader int }
+	var followers []follower
+	for _, i := range miss {
+		if at, ok := leaderAt[keys[i]]; ok {
+			followers = append(followers, follower{index: i, leader: at})
+			continue
+		}
+		leaderAt[keys[i]] = len(uniq)
+		uniq = append(uniq, i)
+	}
 	// Only the misses occupy workers; each stores its result as soon as
 	// it is computed, so an interrupted sweep still persists every
 	// finished design point.
-	results := MapN(len(miss), workers, func(j int) R {
-		r := job(miss[j])
-		if payload, ok := encodeResult(r); ok {
-			c.Put(keys[miss[j]], payload)
-		}
-		return r
+	results := MapN(len(uniq), workers, func(j int) R {
+		i := uniq[j]
+		return computeShared(c, keys[i], func() R { return job(i) })
 	})
-	for j, i := range miss {
+	for j, i := range uniq {
 		out[i] = results[j]
 	}
+	for _, f := range followers {
+		out[f.index] = results[f.leader]
+	}
 	return out
+}
+
+// flight is one in-progress computation of a cache key: done closes when
+// the leader finishes, and payload carries its gob-encoded result when
+// ok (encoding can fail, and a panicking leader publishes nothing).
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	ok      bool
+}
+
+// testFlightJoined, when non-nil (installed by tests only), observes a
+// caller joining an already-registered flight. It makes the join step
+// externally visible, which is what lets tests hold a leader open until
+// a waiter has provably attached.
+var testFlightJoined func(key string)
+
+// inflight is the process-wide single-flight table, keyed by cache key.
+// Cache keys are content-addressed — an identical key names an identical
+// result by construction — so it is sound to share results across every
+// Cache instance in the process, not just within one sweep.
+var inflight = struct {
+	sync.Mutex
+	m map[string]*flight
+}{m: make(map[string]*flight)}
+
+// computeShared runs job under the key's single-flight slot: when
+// another goroutine anywhere in the process is already computing the
+// same key, the caller blocks on that computation and decodes its
+// published payload instead of simulating a second time. The leader
+// alone stores the result in c; waiters already see it through the
+// flight, and their own Get on the next sweep will hit the entry the
+// leader persisted. A leader whose result cannot be shared (gob encode
+// failure, or a panic re-raised through the sweep pool) wakes its
+// waiters empty-handed and each computes locally.
+func computeShared[R any](c Cache, key string, job func() R) R {
+	inflight.Lock()
+	if f := inflight.m[key]; f != nil {
+		inflight.Unlock()
+		if testFlightJoined != nil {
+			testFlightJoined(key)
+		}
+		<-f.done
+		if f.ok {
+			var r R
+			if decodeResult(f.payload, &r) {
+				return r
+			}
+		}
+		return job()
+	}
+	f := &flight{done: make(chan struct{})}
+	inflight.m[key] = f
+	inflight.Unlock()
+	defer func() {
+		inflight.Lock()
+		delete(inflight.m, key)
+		inflight.Unlock()
+		close(f.done)
+	}()
+	r := job()
+	if payload, ok := encodeResult(r); ok {
+		c.Put(key, payload)
+		f.payload, f.ok = payload, true
+	}
+	return r
 }
 
 // encodeResult renders one result as a gob payload.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -149,6 +150,150 @@ func TestMapCachedOrderingAcrossWorkers(t *testing.T) {
 		}
 	}
 	SetWorkers(0)
+}
+
+func TestMapCachedDuplicateKeysComputeOnce(t *testing.T) {
+	// Duplicate keys within one call are the in-call face of the
+	// single-flight bug: without dedup, a serial sweep computes the
+	// shared key once per index.
+	for _, workers := range []int{1, 4} {
+		c := newMapCache()
+		var computes atomic.Int32
+		got := MapCachedN(c, 4, workers,
+			func(i int) string { return "shared" },
+			func(i int) result {
+				computes.Add(1)
+				return result{Index: 7, Label: "same"}
+			})
+		if n := computes.Load(); n != 1 {
+			t.Fatalf("workers=%d: %d computes for one shared key, want 1", workers, n)
+		}
+		for i, r := range got {
+			if r.Index != 7 || r.Label != "same" {
+				t.Fatalf("workers=%d: result %d = %+v, want the shared result", workers, i, r)
+			}
+		}
+		if c.puts != 1 {
+			t.Fatalf("workers=%d: %d puts, want 1", workers, c.puts)
+		}
+	}
+}
+
+func TestMapCachedConcurrentCallsSingleFlight(t *testing.T) {
+	// Two concurrent MapCached calls missing the same key must cost one
+	// compute: the second call blocks on the first's in-flight result.
+	// The handshake is deterministic — the leader registers its flight
+	// before running the job (so once the job has signalled `started`,
+	// any later call finds the flight), and the test only releases the
+	// leader after the join hook confirms the second call attached.
+	c := newMapCache()
+	joined := make(chan string, 1)
+	testFlightJoined = func(key string) { joined <- key }
+	defer func() { testFlightJoined = nil }()
+	var computes atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	key := func(i int) string { return "contended" }
+	first := make(chan []result)
+	go func() {
+		first <- MapCached(c, 1, key, func(i int) result {
+			computes.Add(1)
+			close(started)
+			<-release
+			return result{Index: 1, Thr: 2.5}
+		})
+	}()
+	<-started
+	second := make(chan []result)
+	go func() {
+		second <- MapCached(c, 1, key, func(i int) result {
+			computes.Add(1) // must never run
+			return result{}
+		})
+	}()
+	if k := <-joined; k != "contended" {
+		t.Fatalf("second call joined flight %q, want %q", k, "contended")
+	}
+	close(release)
+	a, b := <-first, <-second
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computes across concurrent identical sweeps, want 1", n)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("waiter result %+v differs from leader result %+v", b, a)
+	}
+	if c.puts != 1 {
+		t.Fatalf("%d puts, want only the leader's", c.puts)
+	}
+}
+
+func TestComputeSharedWaiterDecodesLeaderResult(t *testing.T) {
+	// Direct single-flight unit: a second computeShared on a registered
+	// key joins the flight and never runs its own job. The leader is held
+	// open until the join hook confirms the waiter attached.
+	c := newMapCache()
+	joined := make(chan string, 1)
+	testFlightJoined = func(key string) { joined <- key }
+	defer func() { testFlightJoined = nil }()
+	ready := make(chan struct{})
+	release := make(chan struct{})
+	leader := make(chan result)
+	go func() {
+		leader <- computeShared(c, "k", func() result {
+			close(ready)
+			<-release
+			return result{Index: 9, Label: "lead"}
+		})
+	}()
+	<-ready
+	waiter := make(chan result)
+	go func() {
+		waiter <- computeShared(c, "k", func() result {
+			t.Error("waiter computed despite an in-flight leader")
+			return result{}
+		})
+	}()
+	if k := <-joined; k != "k" {
+		t.Fatalf("waiter joined flight %q, want %q", k, "k")
+	}
+	close(release)
+	lr, wr := <-leader, <-waiter
+	if !reflect.DeepEqual(lr, wr) {
+		t.Fatalf("waiter got %+v, leader computed %+v", wr, lr)
+	}
+}
+
+func TestComputeSharedPanickingLeaderReleasesWaiters(t *testing.T) {
+	// A leader that panics must not strand waiters: the flight resolves
+	// empty and the waiter computes locally.
+	c := newMapCache()
+	joined := make(chan string, 1)
+	testFlightJoined = func(key string) { joined <- key }
+	defer func() { testFlightJoined = nil }()
+	ready := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		computeShared(c, "boom", func() result {
+			close(ready)
+			<-release
+			panic("leader died")
+		})
+	}()
+	<-ready
+	waiter := make(chan result)
+	go func() {
+		waiter <- computeShared(c, "boom", func() result {
+			return result{Index: 3}
+		})
+	}()
+	if k := <-joined; k != "boom" {
+		t.Fatalf("waiter joined flight %q, want %q", k, "boom")
+	}
+	close(release)
+	if r := <-waiter; r.Index != 3 {
+		t.Fatalf("waiter result %+v, want its own local compute", r)
+	}
 }
 
 func TestMapCachedFloatBitExact(t *testing.T) {
